@@ -1,0 +1,49 @@
+// Command advise runs the §6-style mechanism advisor: given a call
+// site's profile (consecutive accesses per object, record sizes), it
+// predicts RPC vs computation-migration cost under a chosen machine
+// model and prints the recommendation and the crossover run length.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compmig/internal/advisor"
+	"compmig/internal/cost"
+)
+
+func main() {
+	n := flag.Float64("n", 1, "mean consecutive accesses per object visit")
+	m := flag.Float64("m", 1, "objects visited in sequence (amortizes the return)")
+	argW := flag.Uint64("args", 2, "argument record size, 32-bit words")
+	repW := flag.Uint64("reply", 2, "reply record size, words")
+	contW := flag.Uint64("cont", 8, "continuation record size (live variables), words")
+	short := flag.Bool("short", false, "the access is a short method under RPC")
+	hw := flag.Bool("hw", false, "use the hardware-support cost model")
+	flag.Parse()
+
+	model := cost.Software()
+	label := "software"
+	if *hw {
+		model = cost.Hardware()
+		label = "hardware-assisted"
+	}
+	a := advisor.New(model)
+	p := advisor.SiteProfile{
+		AccessesPerVisit: *n, ArgWords: *argW, ReplyWords: *repW,
+		ContWords: *contW, ShortMethod: *short, ChainLength: *m,
+	}
+	fmt.Printf("model:            %s (Table 5 costs)\n", label)
+	fmt.Printf("profile:          n=%.1f accesses/visit, m=%.0f objects, cont=%dw, args=%dw, reply=%dw\n",
+		p.AccessesPerVisit, p.ChainLength, p.ContWords, p.ArgWords, p.ReplyWords)
+	fmt.Printf("estimated cost:   RPC %.0f cycles, migration %.0f cycles per visit\n",
+		a.EstimateRPC(p), a.EstimateMigrate(p))
+	fmt.Printf("recommendation:   %v\n", a.Choose(p))
+	if x := a.CrossoverAccesses(p, 10000); x > 0 {
+		fmt.Printf("crossover:        migration wins from %.0f accesses/visit\n", x)
+	} else {
+		fmt.Println("crossover:        migration never wins for this profile")
+		os.Exit(0)
+	}
+}

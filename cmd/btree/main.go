@@ -1,0 +1,66 @@
+// Command btree runs one distributed B-tree experiment (the paper's
+// second application) and prints the measured row.
+//
+// Example:
+//
+//	btree -threads 16 -think 0 -scheme cm+repl+hw -fanout 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compmig/internal/apps/btree"
+	"compmig/internal/harness"
+	"compmig/internal/sim"
+)
+
+func main() {
+	fanout := flag.Int("fanout", 100, "maximum keys per node")
+	keys := flag.Int("keys", 10000, "initial keys")
+	procs := flag.Int("nodeprocs", 48, "processors holding tree nodes")
+	threads := flag.Int("threads", 16, "requesting threads, one per processor")
+	think := flag.Uint64("think", 0, "cycles between requests")
+	lookup := flag.Float64("lookups", 0.5, "fraction of operations that are lookups")
+	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm with +hw/+repl (e.g. cm+repl+hw)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
+	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
+	trace := flag.Int("trace", 0, "dump the last N simulation events to stderr")
+	flag.Parse()
+
+	scheme, err := harness.ParseScheme(*schemeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := btree.DefaultParams()
+	p.Fanout = *fanout
+	p.NodeProcs = *procs
+	r := btree.RunExperiment(btree.Config{
+		Params: p, InitialKeys: *keys, Threads: *threads, Think: *think,
+		LookupFrac: *lookup, Scheme: scheme, Seed: *seed,
+		Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
+		TraceCap: *trace,
+	})
+	if r.Trace != nil {
+		if err := r.Trace.Dump(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	fmt.Printf("scheme            %s\n", r.Scheme)
+	fmt.Printf("think time        %d cycles\n", r.Think)
+	fmt.Printf("throughput        %.3f ops/1000 cycles\n", r.Throughput)
+	fmt.Printf("bandwidth         %.3f words/10 cycles\n", r.Bandwidth)
+	fmt.Printf("operations        %d\n", r.Ops)
+	fmt.Printf("mean latency      %.0f cycles\n", r.MeanLatency)
+	fmt.Printf("p95 latency       <= %d cycles\n", r.P95Latency)
+	fmt.Printf("root proc util    %.1f%%\n", r.RootUtilization*100)
+	fmt.Printf("words/op          %.1f\n", r.WordsPerOp)
+	fmt.Printf("tree height       %d\n", r.Height)
+	fmt.Printf("root children     %d\n", r.RootChildren)
+	if r.HitRate > 0 {
+		fmt.Printf("cache hit rate    %.1f%%\n", r.HitRate*100)
+	}
+}

@@ -1,0 +1,52 @@
+// Command contgen generates the word-level wire stubs
+// (MarshalWords/UnmarshalWords) for struct types annotated with
+// //compmig:record — the role the Prelude compiler plays in §3 of the
+// paper. Point it at a source file; it writes a *_gen.go companion.
+//
+// Usage:
+//
+//	contgen -in internal/apps/btree/ops_cm.go
+//	contgen -in file.go -out custom_name.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compmig/internal/contgen"
+)
+
+func main() {
+	in := flag.String("in", "", "annotated Go source file")
+	out := flag.String("out", "", "output file (default: <in>_gen.go)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "contgen: -in is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "contgen:", err)
+		os.Exit(1)
+	}
+	gen, err := contgen.Generate(*in, src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "contgen:", err)
+		os.Exit(1)
+	}
+	if gen == nil {
+		fmt.Fprintf(os.Stderr, "contgen: no //compmig:record types in %s\n", *in)
+		os.Exit(1)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(*in, ".go") + "_gen.go"
+	}
+	if err := os.WriteFile(dst, gen, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "contgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("contgen: wrote %s\n", dst)
+}

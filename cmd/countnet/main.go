@@ -1,0 +1,59 @@
+// Command countnet runs one counting-network experiment (the paper's
+// first application) and prints the measured point.
+//
+// Example:
+//
+//	countnet -threads 64 -think 0 -scheme cm+hw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compmig/internal/apps/countnet"
+	"compmig/internal/harness"
+	"compmig/internal/sim"
+)
+
+func main() {
+	width := flag.Int("width", 8, "counting network width (power of two)")
+	threads := flag.Int("threads", 8, "requesting threads, one per processor")
+	think := flag.Uint64("think", 0, "cycles between requests")
+	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm with +hw (e.g. cm+hw)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
+	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
+	trace := flag.Int("trace", 0, "dump the last N simulation events to stderr")
+	flag.Parse()
+
+	scheme, err := harness.ParseScheme(*schemeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := countnet.RunExperiment(countnet.Config{
+		Width: *width, Threads: *threads, Think: *think, Scheme: scheme,
+		Seed: *seed, Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
+		TraceCap: *trace,
+	})
+	if r.Trace != nil {
+		if err := r.Trace.Dump(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	fmt.Printf("scheme            %s\n", r.Scheme)
+	fmt.Printf("threads           %d\n", r.Threads)
+	fmt.Printf("think time        %d cycles\n", r.Think)
+	fmt.Printf("throughput        %.3f requests/1000 cycles\n", r.Throughput)
+	fmt.Printf("bandwidth         %.3f words/10 cycles\n", r.Bandwidth)
+	fmt.Printf("requests          %d\n", r.Ops)
+	fmt.Printf("mean latency      %.0f cycles\n", r.MeanLatency)
+	fmt.Printf("p95 latency       <= %d cycles\n", r.P95Latency)
+	fmt.Printf("entry-stage util  %.1f%%\n", r.EntryUtilization*100)
+	fmt.Printf("messages          %d\n", r.Messages)
+	fmt.Printf("words/request     %.1f\n", r.WordsPerOp)
+	if r.HitRate > 0 {
+		fmt.Printf("cache hit rate    %.1f%%\n", r.HitRate*100)
+	}
+}

@@ -1,0 +1,27 @@
+// Command msgmodel prints the analytic message-count model of the
+// paper's §2.5 (Figure 1): one thread making n consecutive accesses to
+// each of m remote data items.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"compmig/internal/model"
+)
+
+func main() {
+	n := flag.Int("n", 2, "consecutive accesses per data item")
+	maxM := flag.Int("m", 8, "maximum number of data items")
+	flag.Parse()
+
+	fmt.Printf("messages for n=%d accesses to each of m data items\n\n", *n)
+	fmt.Printf("%4s  %12s  %16s  %22s\n", "m", "RPC (2nm)", "data mig (2m)", "computation mig (m+1)")
+	for m := 1; m <= *maxM; m++ {
+		fmt.Printf("%4d  %12d  %16d  %22d\n", m,
+			model.Messages(model.RPC, *n, m),
+			model.Messages(model.DataMigration, *n, m),
+			model.Messages(model.ComputationMigration, *n, m))
+	}
+	fmt.Printf("\ncheapest mechanism for (n=%d, m=%d): %v\n", *n, *maxM, model.Winner(*n, *maxM))
+}

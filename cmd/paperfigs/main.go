@@ -1,0 +1,40 @@
+// Command paperfigs regenerates the tables and figures of the paper's
+// evaluation section on the simulated machine.
+//
+// Usage:
+//
+//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compmig/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, all")
+	quick := flag.Bool("quick", false, "short measurement windows (smoke run)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	format := flag.String("format", "text", "output format: text or md")
+	flag.Parse()
+
+	tables, err := harness.Run(*exp, harness.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		switch *format {
+		case "md":
+			fmt.Print(t.Markdown())
+		default:
+			fmt.Print(t.String())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package compmig is a from-scratch reproduction of "Computation
+// Migration: Enhancing Locality for Distributed-Memory Parallel Systems"
+// (Hsieh, Wang, Weihl; PPoPP 1993).
+//
+// The repository contains the paper's entire experimental stack, rebuilt
+// in Go on a deterministic discrete-event simulator:
+//
+//   - internal/sim — the Proteus-style simulated machine: a cycle clock,
+//     coroutine threads, serially-occupied processors;
+//   - internal/cost — the software messaging cost model calibrated from
+//     the paper's Table 5, plus its hardware-support variants;
+//   - internal/mem — the data-migration substrate: Alewife-style
+//     cache-coherent shared memory (64K direct-mapped caches, 16-byte
+//     lines, full-map MSI directory);
+//   - internal/core — the contribution: a Prelude-like object runtime
+//     offering RPC and computation migration of single activation
+//     frames, with conditional migration and short-circuited returns;
+//   - internal/repl — software replication of hot objects (multi-version
+//     memory) for the paper's "w/repl." schemes;
+//   - internal/apps/countnet, internal/apps/btree — the two evaluation
+//     applications;
+//   - internal/harness — regenerates every table and figure of §4;
+//   - cmd/paperfigs, cmd/countnet, cmd/btree, cmd/msgmodel — drivers.
+//
+// This root package holds no code; see README.md for a tour and
+// DESIGN.md for the system inventory.
+package compmig

@@ -1,0 +1,222 @@
+// FFT: the paper's §2.4 counterpoint. "Some applications require very
+// little locality management: the computation of Fast Fourier Transform,
+// in fact, requires data to be migrated exactly once during the entire
+// computation; all accesses are local."
+//
+// This example runs a real distributed FFT (transpose algorithm: local
+// column FFTs, twiddle scaling, ONE all-to-all transpose, local row
+// FFTs) on the simulated machine and prices the transpose under three
+// mechanisms:
+//
+//   - bulk data migration: each processor ships each peer one block —
+//     the single exchange the paper describes;
+//   - RPC: fetch every remote point with a call — per-access round trips;
+//   - computation migration: a gather frame hops across the owners,
+//     accumulating its row — fewer messages than RPC, but the frame
+//     grows as it collects data, so bulk exchange still wins.
+//
+// The numeric result is checked against a direct DFT, so the simulated
+// program really computes the transform it charges for.
+//
+// Run with: go run ./examples/fft
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+const (
+	p       = 8     // processors
+	n       = p * p // points, arranged as a p×p matrix
+	ptWords = 4     // wire words per complex point
+	flopCyc = 10    // cycles per butterfly operation
+)
+
+// fft computes an in-place radix-2 DIT FFT of a power-of-two slice.
+func fft(a []complex128) {
+	m := len(a)
+	// Bit reversal.
+	for i, j := 1, 0; i < m; i++ {
+		bit := m >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= m; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < m; i += length {
+			w := complex(1, 0)
+			for k := 0; k < length/2; k++ {
+				u := a[i+k]
+				v := a[i+k+length/2] * w
+				a[i+k] = u + v
+				a[i+k+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// dft is the O(N²) oracle.
+func dft(in []complex128) []complex128 {
+	out := make([]complex128, len(in))
+	for k := range out {
+		for t, x := range in {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(len(in))
+			out[k] += x * cmplx.Rect(1, ang)
+		}
+	}
+	return out
+}
+
+// transposeFFT runs the four-step algorithm on the simulated machine,
+// exchanging the matrix under the chosen mechanism, and returns the
+// result in natural order plus the simulation's cost readings.
+func transposeFFT(input []complex128, mechanism string) ([]complex128, sim.Time, uint64, uint64) {
+	eng := sim.NewEngine(1)
+	mach := sim.NewMachine(eng, p)
+	col := stats.NewCollector()
+	net := network.New(eng, network.Crossbar{}, col, 17, 0)
+
+	// cols[j] lives on processor j: column j of the p×p matrix, x[i*p+j].
+	cols := make([][]complex128, p)
+	for j := 0; j < p; j++ {
+		cols[j] = make([]complex128, p)
+		for i := 0; i < p; i++ {
+			cols[j][i] = input[i*p+j]
+		}
+	}
+	rows := make([][]complex128, p) // after the exchange: row i on proc i
+
+	barrier := sim.NewBarrier(p)
+	charge := func(th *sim.Thread, proc, cycles int) {
+		col.AddCycles(stats.CatUserCode, uint64(cycles))
+		th.Exec(mach.Proc(proc), sim.Time(cycles))
+	}
+	// One message of the transpose traffic, payload sized in points.
+	send := func(kind string, src, dst, points, overhead int, deliver func()) {
+		payload := make([]uint32, points*ptWords+overhead)
+		net.Send(&network.Message{Src: src, Dst: dst, Kind: kind, Payload: payload},
+			func(*network.Message) { deliver() })
+	}
+
+	for j := 0; j < p; j++ {
+		j := j
+		eng.Spawn("worker", 0, func(th *sim.Thread) {
+			// Step 1: local FFT of this processor's column.
+			fft(cols[j])
+			charge(th, j, p*flopCyc*4)
+			// Step 2: twiddle scaling W^(i*j).
+			for i := range cols[j] {
+				ang := -2 * math.Pi * float64(i) * float64(j) / float64(n)
+				cols[j][i] *= cmplx.Rect(1, ang)
+			}
+			charge(th, j, p*flopCyc)
+			barrier.Arrive(th)
+
+			// Step 3: the exchange. Processor j needs row j: element i of
+			// every column. Mechanism choice prices it differently; the
+			// data itself moves host-side when each variant completes.
+			switch mechanism {
+			case "bulk":
+				// One block message to each peer (the paper's single
+				// data migration): element j of our column to proc i...
+				// symmetric all-to-all, one message per (src,dst) pair.
+				for dst := 0; dst < p; dst++ {
+					if dst != j {
+						send("fft-block", j, dst, 1, 1, func() {})
+					}
+				}
+			case "rpc":
+				// Fetch each remote point with a call round trip.
+				for src := 0; src < p; src++ {
+					if src != j {
+						done := &sim.Future{}
+						send("fft-req", j, src, 0, 4, func() {
+							send("fft-pt", src, j, 1, 1, func() { done.Complete(nil) })
+						})
+						done.Wait(th)
+					}
+				}
+			case "migrate":
+				// A gather frame hops owner to owner, growing by one
+				// point per hop, then returns home with the full row.
+				done := &sim.Future{}
+				hop := 0
+				carried := 1
+				var next func()
+				next = func() {
+					if hop == p-1 {
+						send("fft-return", (j+hop)%p, j, carried, 2, func() { done.Complete(nil) })
+						return
+					}
+					hop++
+					carried++
+					send("fft-migrate", (j+hop-1)%p, (j+hop)%p, carried, 3, next)
+				}
+				next()
+				done.Wait(th)
+			}
+			barrier.Arrive(th)
+
+			// Host-side completion of the transpose, then step 4: local
+			// FFT of the gathered row.
+			rows[j] = make([]complex128, p)
+			for i := 0; i < p; i++ {
+				rows[j][i] = cols[i][j]
+			}
+			fft(rows[j])
+			charge(th, j, p*flopCyc*4)
+			barrier.Arrive(th)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+
+	// Assemble the natural-order spectrum: X[k2 + p*k1] = rows[k2][k1]
+	// (four-step output indexing: proc k2 computes the FFT over j1).
+	out := make([]complex128, n)
+	for k2 := 0; k2 < p; k2++ {
+		for k1 := 0; k1 < p; k1++ {
+			out[k2+p*k1] = rows[k2][k1]
+		}
+	}
+	return out, eng.Now(), col.TotalMessages(), col.WordsSent
+}
+
+func main() {
+	input := make([]complex128, n)
+	for i := range input {
+		input[i] = complex(math.Sin(0.3*float64(i))+0.2*math.Cos(1.7*float64(i)), 0)
+	}
+	want := dft(input)
+
+	fmt.Printf("%d-point FFT on %d processors (transpose algorithm)\n\n", n, p)
+	fmt.Printf("%-10s %10s %10s %8s %10s\n", "exchange", "cycles", "messages", "words", "max error")
+	for _, mech := range []string{"bulk", "rpc", "migrate"} {
+		got, cycles, msgs, words := transposeFFT(input, mech)
+		maxErr := 0.0
+		for i := range got {
+			if d := cmplx.Abs(got[i] - want[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		fmt.Printf("%-10s %10d %10d %8d %10.2e\n", mech, cycles, msgs, words, maxErr)
+	}
+	fmt.Println()
+	fmt.Println("exactly the paper's §2.4 point: the FFT moves its data once and every")
+	fmt.Println("other access is local, so the plain bulk exchange beats both per-access")
+	fmt.Println("RPC and a migrating gather — fancy locality management buys nothing here.")
+}

@@ -1,0 +1,3 @@
+module compmig
+
+go 1.22

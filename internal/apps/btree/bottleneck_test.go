@@ -1,0 +1,65 @@
+package btree
+
+import (
+	"testing"
+
+	"compmig/internal/core"
+)
+
+// TestRootBottleneckRelievedByReplication demonstrates §4.2's analysis
+// directly: under computation migration at zero think time, the root's
+// processor saturates ("activations arrive at a rate greater than the
+// rate at which the processor completes each activation"); replicating
+// the root's content pulls its utilization down and lifts throughput.
+func TestRootBottleneckRelievedByReplication(t *testing.T) {
+	run := func(repl bool) Result {
+		return RunExperiment(Config{
+			Scheme: core.Scheme{Mechanism: core.Migrate, Replication: repl},
+			Think:  0, Warmup: 10000, Measure: 60000,
+		})
+	}
+	plain := run(false)
+	replicated := run(true)
+
+	if plain.RootUtilization < 0.7 {
+		t.Errorf("plain CM root utilization = %.2f, expected a saturated root", plain.RootUtilization)
+	}
+	if replicated.RootUtilization > plain.RootUtilization/2 {
+		t.Errorf("replication left root utilization at %.2f (plain %.2f)",
+			replicated.RootUtilization, plain.RootUtilization)
+	}
+	if replicated.Throughput <= plain.Throughput {
+		t.Errorf("replication did not lift throughput: %.3f vs %.3f",
+			replicated.Throughput, plain.Throughput)
+	}
+	if replicated.P95Latency >= plain.P95Latency {
+		t.Errorf("replication did not cut tail latency: %d vs %d",
+			replicated.P95Latency, plain.P95Latency)
+	}
+}
+
+// TestRPCRootAlsoSaturates checks the same bottleneck binds RPC, as the
+// paper states ("it is the limiting factor for RPC and computation
+// migration throughput").
+func TestRPCRootAlsoSaturates(t *testing.T) {
+	r := RunExperiment(Config{
+		Scheme: core.Scheme{Mechanism: core.RPC},
+		Think:  0, Warmup: 10000, Measure: 60000,
+	})
+	if r.RootUtilization < 0.7 {
+		t.Errorf("RPC root utilization = %.2f, expected saturation", r.RootUtilization)
+	}
+}
+
+// TestThinkTimeDrainsBottleneck confirms that 10000-cycle think time
+// (Tables 3/4) takes the root out of saturation — the precondition for
+// the paper's CP ≈ SM parity result.
+func TestThinkTimeDrainsBottleneck(t *testing.T) {
+	r := RunExperiment(Config{
+		Scheme: core.Scheme{Mechanism: core.Migrate, Replication: true},
+		Think:  10000, Warmup: 10000, Measure: 60000,
+	})
+	if r.RootUtilization > 0.5 {
+		t.Errorf("root utilization = %.2f at think=10000, expected light load", r.RootUtilization)
+	}
+}

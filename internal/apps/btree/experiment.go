@@ -1,0 +1,218 @@
+package btree
+
+import (
+	"sort"
+
+	"compmig/internal/core"
+	"compmig/internal/cost"
+	"compmig/internal/mem"
+	"compmig/internal/network"
+	"compmig/internal/repl"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// Config describes one B-tree run (one row of Tables 1-4).
+type Config struct {
+	Params
+	InitialKeys int     // 10000 in the paper
+	Threads     int     // 16, each on its own processor
+	Think       uint64  // 0 or 10000 cycles
+	LookupFrac  float64 // fraction of operations that are lookups
+	KeySpace    uint64  // keys drawn uniformly from [1, KeySpace]
+	Scheme      core.Scheme
+	Seed        uint64
+
+	Warmup  sim.Time
+	Measure sim.Time
+
+	// Ablation knobs (nil/false reproduce the paper's configuration).
+	Model     *cost.Model // override the scheme-derived cost model
+	Mesh      bool        // 2D mesh with per-hop latency instead of a crossbar
+	MemParams *mem.Params // override the shared-memory substrate parameters
+	// TraceCap, when positive, records the last TraceCap simulation
+	// events into Result.Trace.
+	TraceCap int
+	// SMPrefetch enables key-array prefetching on shared-memory descents.
+	SMPrefetch bool
+	// HotOpFrac and HotKeyFrac skew the workload: HotOpFrac of the
+	// operations draw their key from the bottom HotKeyFrac of the key
+	// space (both zero = the paper's uniform workload).
+	HotOpFrac  float64
+	HotKeyFrac float64
+}
+
+// WithDefaults fills unset fields with the paper's parameters.
+func (c Config) WithDefaults() Config {
+	if c.Fanout == 0 {
+		c.Params = DefaultParams()
+	}
+	if c.InitialKeys == 0 {
+		c.InitialKeys = 10000
+	}
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.LookupFrac == 0 {
+		c.LookupFrac = 0.5
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 1 << 30
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20000
+	}
+	if c.Measure == 0 {
+		c.Measure = 200000
+	}
+	return c
+}
+
+// Result is one measured row.
+type Result struct {
+	Scheme       string
+	Think        uint64
+	Throughput   float64 // operations per 1000 cycles (Tables 1, 3)
+	Bandwidth    float64 // words per 10 cycles (Tables 2, 4)
+	Ops          uint64
+	MeanLatency  float64
+	HitRate      float64 // SM cache hit rate (paper: <7%)
+	WordsPerOp   float64
+	RootChildren int
+	Height       int
+	// P95Latency is the 95th-percentile operation latency (upper bound).
+	P95Latency uint64
+	// RootUtilization is the busy fraction of the root node's processor —
+	// direct evidence of the paper's root-bottleneck analysis (§4.2).
+	RootUtilization float64
+	// Trace holds the tail of the execution trace when Config.TraceCap
+	// was set.
+	Trace *sim.Tracer
+	// ObjectMoves and Forwards report Emerald-style mobility activity
+	// (nonzero only under the ObjMigrate scheme).
+	ObjectMoves uint64
+	Forwards    uint64
+}
+
+// RunExperiment builds a fresh machine and tree, runs the mixed
+// lookup/insert workload, and reports windowed throughput and bandwidth.
+func RunExperiment(cfg Config) Result {
+	cfg = cfg.WithDefaults()
+	eng := sim.NewEngine(cfg.Seed)
+	var tracer *sim.Tracer
+	if cfg.TraceCap > 0 {
+		tracer = eng.EnableTrace(cfg.TraceCap)
+	}
+	model := cfg.Scheme.Model()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+
+	mach := sim.NewMachine(eng, cfg.NodeProcs+cfg.Threads)
+	col := stats.NewCollector()
+	topo := network.Topology(network.Crossbar{})
+	perHop := model.NetTransitPerHop
+	if cfg.Mesh {
+		w := 1
+		for w*w < mach.N() {
+			w++
+		}
+		topo = network.NewMesh(w, (mach.N()+w-1)/w)
+		if perHop == 0 {
+			perHop = 2
+		}
+	}
+	net := network.New(eng, topo, col, model.NetTransitBase, perHop)
+	rt := core.New(eng, mach, net, col, model)
+
+	var shm *mem.System
+	if cfg.Scheme.Mechanism == core.SharedMem {
+		mp := mem.DefaultParams()
+		if cfg.MemParams != nil {
+			mp = *cfg.MemParams
+		}
+		shm = mem.New(eng, mach, net, col, mp)
+	}
+	var tbl *repl.Table
+	if cfg.Scheme.Replication {
+		tbl = repl.NewTable(rt)
+	}
+
+	keyRNG := eng.Rand().Fork()
+	tr := Build(rt, shm, tbl, cfg.Scheme, cfg.Params, GenKeys(keyRNG, cfg.InitialKeys, cfg.KeySpace))
+	tr.SMPrefetch = cfg.SMPrefetch
+
+	stop := cfg.Warmup + cfg.Measure
+	for i := 0; i < cfg.Threads; i++ {
+		proc := cfg.NodeProcs + i
+		rng := keyRNG.Fork()
+		delay := sim.Time(rng.Intn(300))
+		eng.Spawn("requester", delay, func(th *sim.Thread) {
+			task := rt.NewTask(th, proc)
+			for th.Now() < stop {
+				start := th.Now()
+				span := cfg.KeySpace
+				if cfg.HotOpFrac > 0 && rng.Float64() < cfg.HotOpFrac {
+					span = uint64(float64(cfg.KeySpace) * cfg.HotKeyFrac)
+					if span == 0 {
+						span = 1
+					}
+				}
+				key := 1 + rng.Uint64n(span)
+				if rng.Float64() < cfg.LookupFrac {
+					tr.Lookup(task, key)
+				} else {
+					tr.Insert(task, key)
+				}
+				col.CountOp(uint64(th.Now() - start))
+				if cfg.Think > 0 {
+					task.Think(cfg.Think)
+				}
+			}
+		})
+	}
+
+	eng.Schedule(cfg.Warmup, func() { col.MarkWindow(uint64(cfg.Warmup)) })
+	res := Result{Scheme: cfg.Scheme.Name(), Think: cfg.Think}
+	eng.Schedule(stop, func() {
+		res.Throughput = col.Throughput(uint64(stop))
+		res.Bandwidth = col.Bandwidth(uint64(stop))
+	})
+	if err := eng.Run(); err != nil {
+		panic("btree: experiment did not quiesce: " + err.Error())
+	}
+
+	res.Ops = col.Ops
+	res.MeanLatency = col.MeanOpLatency()
+	res.HitRate = col.HitRate()
+	if col.Ops > 0 {
+		res.WordsPerOp = float64(col.WordsSent) / float64(col.Ops)
+	}
+	res.RootChildren = tr.RootChildren()
+	res.Height = tr.Height()
+	res.P95Latency = col.Latency.Quantile(0.95)
+	res.RootUtilization = mach.Proc(tr.Root().Home()).Utilization()
+	res.Trace = tracer
+	res.ObjectMoves = rt.Objects.Moves
+	res.Forwards = col.Forwards
+	return res
+}
+
+// GenKeys draws n distinct sorted keys uniformly from [1, space].
+func GenKeys(rng *sim.PRNG, n int, space uint64) []uint64 {
+	seen := make(map[uint64]struct{}, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := 1 + rng.Uint64n(space)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,176 @@
+// Package btree implements the paper's second application: a distributed
+// B-tree in the style of Wang [Wan91] — a B-link tree supporting
+// concurrent lookup and insert (no delete, matching the paper's
+// simplification), with nodes laid out randomly across processors.
+//
+// Every node covers a half-open key interval (low, high]; an interior
+// node's keys are the inclusive upper bounds of its children, and the
+// rightmost bound of the rightmost spine is MaxKey. Nodes carry right
+// sibling links, so a descent that lands on a node whose range has
+// shrunk (because of a concurrent split it did not see) recovers by
+// moving laterally — the classic B-link trick Wang's algorithm relies
+// on. This keeps writers from locking whole root-to-leaf paths.
+package btree
+
+import (
+	"sort"
+
+	"compmig/internal/gid"
+	"compmig/internal/mem"
+	"compmig/internal/sim"
+)
+
+// MaxKey is the sentinel upper bound of the rightmost spine.
+const MaxKey = ^uint64(0)
+
+// node is the private state of one B-tree node object.
+type node struct {
+	leaf     bool
+	keys     []uint64  // leaf: stored keys; interior: child upper bounds
+	children []gid.GID // interior only, len == len(keys)
+	right    gid.GID   // right sibling (Nil at the end of a level)
+	high     uint64    // inclusive upper bound of this node's range
+	// kidsAreLeaves lets a descent step tell its caller whether the next
+	// hop is a leaf; splits never change a node's level, so it is stable.
+	kidsAreLeaves bool
+
+	lock sim.Mutex // writer lock
+
+	// Shared-memory layout (SM scheme only).
+	addrHeader mem.Addr
+	addrKeys   mem.Addr
+	addrKids   mem.Addr
+}
+
+// searchCycles models the user-code cost of a bounded binary search over
+// n keys: a fixed part plus a per-probe part. Smaller nodes are cheaper
+// to service — the effect the paper leans on in the fanout-10 experiment.
+func searchCycles(n int) uint64 {
+	probes := uint64(1)
+	for m := 1; m < n; m *= 2 {
+		probes++
+	}
+	return 20 + 10*probes
+}
+
+// probe runs binary search for the first index i with key <= keys[i],
+// recording the probed indices (for shared-memory line charging).
+// It returns (index, touched); index == len(keys) when key exceeds all.
+func probe(keys []uint64, key uint64) (int, []int) {
+	var touched []int
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		touched = append(touched, mid)
+		if key <= keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, touched
+}
+
+// route returns the next hop for key from an interior node: either a
+// child, or the right sibling when the key lies beyond this node's range
+// (a lateral B-link move). The touched probe indices are also returned.
+func (nd *node) route(key uint64) (next gid.GID, lateral bool, touched []int) {
+	if key > nd.high {
+		return nd.right, true, nil
+	}
+	i, touched := probe(nd.keys, key)
+	if i >= len(nd.children) {
+		i = len(nd.children) - 1 // defensive: high bound guarantees i in range
+	}
+	return nd.children[i], false, touched
+}
+
+// leafContains reports whether the leaf stores key (with probe trace).
+// When key is beyond the leaf's range it returns the right sibling.
+func (nd *node) leafContains(key uint64) (found bool, lateral gid.GID, touched []int) {
+	if key > nd.high {
+		return false, nd.right, nil
+	}
+	i, touched := probe(nd.keys, key)
+	return i < len(nd.keys) && nd.keys[i] == key, gid.Nil, touched
+}
+
+// leafInsert adds key to the leaf, reporting whether it was new. The
+// caller must hold the node lock and have verified key <= high.
+func (nd *node) leafInsert(key uint64) bool {
+	i, _ := probe(nd.keys, key)
+	if i < len(nd.keys) && nd.keys[i] == key {
+		return false
+	}
+	nd.keys = append(nd.keys, 0)
+	copy(nd.keys[i+1:], nd.keys[i:])
+	nd.keys[i] = key
+	return true
+}
+
+// insertChild installs a freshly split sibling into an interior node:
+// the child whose bound was oldBound now ends at newSep, and newChild
+// covers (newSep, oldBound]. The caller must hold the node lock.
+// It reports false when oldBound is not found (the entry moved right
+// under a concurrent split; the caller retries laterally).
+func (nd *node) insertChild(oldBound, newSep uint64, newChild gid.GID) bool {
+	i := sort.Search(len(nd.keys), func(j int) bool { return nd.keys[j] >= oldBound })
+	if i >= len(nd.keys) || nd.keys[i] != oldBound {
+		return false
+	}
+	nd.keys[i] = newSep
+	nd.keys = append(nd.keys, 0)
+	nd.children = append(nd.children, gid.Nil)
+	copy(nd.keys[i+2:], nd.keys[i+1:])
+	copy(nd.children[i+2:], nd.children[i+1:])
+	nd.keys[i+1] = oldBound
+	nd.children[i+1] = newChild
+	return true
+}
+
+// splitInfo describes the outcome of a node split: the surviving node now
+// ends at Sep, and NewNode covers (Sep, OldBound].
+type splitInfo struct {
+	Sep      uint64
+	OldBound uint64
+	NewNode  gid.GID
+}
+
+// split moves the upper half of nd into a fresh node and returns that
+// node's state plus the split description. The caller must hold the
+// lock, allocate a GID for the new state, and link it via nd.right.
+func (nd *node) split() (*node, splitInfo) {
+	mid := len(nd.keys) / 2
+	r := &node{
+		leaf:          nd.leaf,
+		keys:          append([]uint64{}, nd.keys[mid:]...),
+		high:          nd.high,
+		kidsAreLeaves: nd.kidsAreLeaves,
+	}
+	if !nd.leaf {
+		r.children = append([]gid.GID{}, nd.children[mid:]...)
+	}
+	r.right = nd.right
+	info := splitInfo{Sep: nd.keys[mid-1], OldBound: nd.high}
+	nd.keys = nd.keys[:mid:mid]
+	if !nd.leaf {
+		nd.children = nd.children[:mid:mid]
+	}
+	nd.high = info.Sep
+	return r, info
+}
+
+// keyLines returns the distinct cache-line offsets (within the key
+// array) covering the given probed positions; used for SM charging.
+func keyLines(touched []int) []int {
+	seen := map[int]bool{}
+	var lines []int
+	for _, pos := range touched {
+		ln := pos * 8 / mem.LineBytes
+		if !seen[ln] {
+			seen[ln] = true
+			lines = append(lines, ln)
+		}
+	}
+	return lines
+}

@@ -1,0 +1,309 @@
+package btree
+
+import (
+	"sort"
+
+	"compmig/internal/core"
+	"compmig/internal/gid"
+	"compmig/internal/mem"
+	"compmig/internal/repl"
+	"compmig/internal/sim"
+)
+
+// Params configures a tree instance.
+type Params struct {
+	Fanout    int     // maximum keys per node (paper: 100, and 10 in §4.2's variant)
+	NodeProcs int     // nodes are placed uniformly on procs [0, NodeProcs) (paper: 48)
+	Fill      float64 // bulk-load fill fraction (0.7 reproduces the paper's 3-child root)
+}
+
+// DefaultParams returns the paper's main configuration.
+func DefaultParams() Params {
+	return Params{Fanout: 100, NodeProcs: 48, Fill: 0.7}
+}
+
+// Tree is a distributed B-link tree bound to a runtime and a scheme.
+type Tree struct {
+	rt     *core.Runtime
+	shm    *mem.System // SM scheme only
+	repl   *repl.Table // "w/repl." schemes only
+	scheme core.Scheme
+	p      Params
+	rng    *sim.PRNG // placement decisions
+
+	root     gid.GID
+	rootLock sim.Mutex
+	height   int
+	nnodes   int
+
+	// Cost knobs (user-code cycles).
+	LockCycles   uint64
+	InsertCycles uint64
+	AllocCycles  uint64
+
+	// SMPrefetch makes shared-memory descents prefetch a node's key
+	// array on entry, overlapping the probe misses (§2.5's prefetching
+	// factor). Off by default: the paper's machine did not prefetch.
+	SMPrefetch bool
+
+	// PeekWork prices the short "remote record access" read that the
+	// RPC version performs before operating on a node (the paper's
+	// shared-memory-style programs turn each access into a call; §4.4's
+	// "extra calls performed using RPC").
+	PeekWork uint64
+
+	mPeek     core.MethodID
+	mStep     core.MethodID
+	mPut      core.MethodID
+	mInsertUp core.MethodID
+	mDelete   core.MethodID
+	cOp       core.ContID
+	cLookup   core.ContID
+	cDelete   core.ContID
+}
+
+// Build bulk-loads a tree with the given sorted-unique keys, placing
+// nodes on random processors. When tbl is non-nil the root's content is
+// replicated (the "w/repl." schemes).
+func Build(rt *core.Runtime, shm *mem.System, tbl *repl.Table, scheme core.Scheme, p Params, keys []uint64) *Tree {
+	if scheme.Mechanism == core.SharedMem && shm == nil {
+		panic("btree: SharedMem scheme needs a mem.System")
+	}
+	tr := &Tree{
+		rt: rt, shm: shm, repl: tbl, scheme: scheme, p: p,
+		rng:        rt.Eng.Rand().Fork(),
+		LockCycles: 20, InsertCycles: 30, AllocCycles: 50, PeekWork: 20,
+	}
+	tr.bulkLoad(keys)
+	tr.register()
+	if tbl != nil {
+		tbl.Replicate(tr.root, tr.snapshotRoot(), tr.snapshotWords())
+	}
+	return tr
+}
+
+// Root returns the current root GID; Height the number of levels; Nodes
+// the live node count.
+func (tr *Tree) Root() gid.GID { return tr.root }
+func (tr *Tree) Height() int   { return tr.height }
+func (tr *Tree) Nodes() int    { return tr.nnodes }
+
+// RootChildren returns the root's child count (the paper discusses 3 vs 4).
+func (tr *Tree) RootChildren() int {
+	nd := tr.rt.Objects.State(tr.root).(*node)
+	if nd.leaf {
+		return 0
+	}
+	return len(nd.children)
+}
+
+// newNode places state on a random node processor, allocating its
+// shared-memory image when the scheme needs one.
+func (tr *Tree) newNode(nd *node) gid.GID {
+	home := tr.rng.Intn(tr.p.NodeProcs)
+	if tr.shm != nil {
+		cap := uint64(tr.p.Fanout + 1)
+		nd.addrHeader = tr.shm.Alloc(home, 16)
+		nd.addrKeys = tr.shm.Alloc(home, 8*cap)
+		nd.addrKids = tr.shm.Alloc(home, 8*cap)
+	}
+	tr.nnodes++
+	return tr.rt.Objects.New(home, nd)
+}
+
+// bulkLoad builds the initial tree bottom-up at the configured fill.
+func (tr *Tree) bulkLoad(keys []uint64) {
+	per := int(float64(tr.p.Fanout) * tr.p.Fill)
+	if per < 2 {
+		per = 2
+	}
+	if len(keys) == 0 {
+		tr.root = tr.newNode(&node{leaf: true, high: MaxKey})
+		tr.height = 1
+		return
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		panic("btree: bulk-load keys must be sorted")
+	}
+
+	// Leaves.
+	type built struct {
+		g    gid.GID
+		nd   *node
+		high uint64
+	}
+	var level []built
+	for i := 0; i < len(keys); i += per {
+		end := i + per
+		if end > len(keys) {
+			end = len(keys)
+		}
+		nd := &node{leaf: true, keys: append([]uint64{}, keys[i:end]...)}
+		nd.high = nd.keys[len(nd.keys)-1]
+		level = append(level, built{nd: nd, high: nd.high})
+	}
+	level[len(level)-1].nd.high = MaxKey
+	level[len(level)-1].high = MaxKey
+	for i := range level {
+		level[i].g = tr.newNode(level[i].nd)
+	}
+	for i := 0; i+1 < len(level); i++ {
+		level[i].nd.right = level[i+1].g
+	}
+	tr.height = 1
+
+	// Interior levels.
+	childrenAreLeaves := true
+	for len(level) > 1 {
+		var up []built
+		for i := 0; i < len(level); i += per {
+			end := i + per
+			if end > len(level) {
+				end = len(level)
+			}
+			nd := &node{kidsAreLeaves: childrenAreLeaves}
+			for _, ch := range level[i:end] {
+				nd.keys = append(nd.keys, ch.high)
+				nd.children = append(nd.children, ch.g)
+			}
+			nd.high = nd.keys[len(nd.keys)-1]
+			up = append(up, built{g: tr.newNode(nd), nd: nd, high: nd.high})
+		}
+		for i := 0; i+1 < len(up); i++ {
+			up[i].nd.right = up[i+1].g
+		}
+		level = up
+		tr.height++
+		childrenAreLeaves = false
+	}
+	tr.root = level[0].g
+}
+
+// snapshotRoot clones the root node's content for the replication table.
+func (tr *Tree) snapshotRoot() *node {
+	nd := tr.rt.Objects.State(tr.root).(*node)
+	return &node{
+		leaf:          nd.leaf,
+		keys:          append([]uint64{}, nd.keys...),
+		children:      append([]gid.GID{}, nd.children...),
+		right:         nd.right,
+		high:          nd.high,
+		kidsAreLeaves: nd.kidsAreLeaves,
+	}
+}
+
+// snapshotWords is the wire size of a root snapshot broadcast.
+func (tr *Tree) snapshotWords() uint64 {
+	nd := tr.rt.Objects.State(tr.root).(*node)
+	return uint64(4*len(nd.keys)) + 6
+}
+
+// republishRoot refreshes replicas after the root's content changed.
+func (tr *Tree) republishRoot(t *core.Task) {
+	if tr.repl == nil {
+		return
+	}
+	tr.repl.Publish(t, tr.root, tr.snapshotRoot(), tr.snapshotWords())
+}
+
+// start picks the first hop of a descent. Under replication the root's
+// content is read locally — the whole point of the "w/repl." schemes —
+// so the descent proper starts at the second level.
+func (tr *Tree) start(t *core.Task, key uint64) (cur gid.GID, path []gid.GID, isLeaf bool) {
+	if tr.repl != nil && tr.repl.IsReplicated(tr.root) {
+		snap := tr.repl.Read(t, tr.root).(*node)
+		if !snap.leaf {
+			t.Work(searchCycles(len(snap.keys)))
+			next, lateral, _ := snap.route(key)
+			if !lateral {
+				return next, []gid.GID{tr.root}, snap.kidsAreLeaves
+			}
+		}
+	}
+	return tr.root, nil, tr.rt.Objects.State(tr.root).(*node).leaf
+}
+
+// growRoot replaces the root after a root split. It returns true when
+// this call installed the new root; false means another writer already
+// grew the tree and the caller must retry its insertUp against the new
+// root.
+func (tr *Tree) growRoot(t *core.Task, oldRoot gid.GID, info splitInfo, newChild gid.GID) bool {
+	tr.rootLock.Lock(t.Thread())
+	defer tr.rootLock.Unlock(t.Thread())
+	if tr.root != oldRoot {
+		return false
+	}
+	t.Work(tr.AllocCycles + tr.InsertCycles)
+	nr := &node{
+		keys:          []uint64{info.Sep, info.OldBound},
+		children:      []gid.GID{oldRoot, newChild},
+		high:          info.OldBound,
+		kidsAreLeaves: tr.rt.Objects.State(oldRoot).(*node).leaf,
+	}
+	g := tr.newNode(nr)
+	if tr.repl != nil && tr.repl.IsReplicated(oldRoot) {
+		// Replicate the new root before exposing it so no reader ever
+		// sees an unreplicated root. (Replicate is host-level: no yield.)
+		clone := &node{keys: append([]uint64{}, nr.keys...),
+			children: append([]gid.GID{}, nr.children...), high: nr.high}
+		tr.repl.Replicate(g, clone, uint64(4*len(nr.keys))+6)
+	}
+	tr.root = g
+	tr.height++
+	if tr.repl != nil {
+		tr.republishRoot(t) // broadcast the new-root announcement
+	}
+	return true
+}
+
+// splitLocked splits nd (lock held), allocates the sibling, and links it.
+// The sibling allocation is host-level; its cost is charged as work (the
+// paper's splits are rare enough not to shape the results).
+func (tr *Tree) splitLocked(t *core.Task, nd *node) (gid.GID, splitInfo) {
+	t.Work(tr.AllocCycles + uint64(5*len(nd.keys)/2))
+	r, info := nd.split()
+	g := tr.newNode(r)
+	nd.right = g
+	info.NewNode = g
+	return g, info
+}
+
+// Lookup reports whether key is present, using the tree's scheme.
+func (tr *Tree) Lookup(t *core.Task, key uint64) bool {
+	switch tr.scheme.Mechanism {
+	case core.Migrate:
+		return tr.lookupCM(t, key)
+	case core.RPC:
+		return tr.lookupRPC(t, key)
+	case core.SharedMem:
+		return tr.lookupSM(t, key)
+	case core.ObjMigrate:
+		return tr.lookupOM(t, key)
+	}
+	panic("btree: unknown mechanism")
+}
+
+// Insert adds key, reporting whether it was new, using the tree's scheme.
+func (tr *Tree) Insert(t *core.Task, key uint64) bool {
+	if key == MaxKey {
+		panic("btree: MaxKey is reserved")
+	}
+	switch tr.scheme.Mechanism {
+	case core.Migrate:
+		return tr.insertCM(t, key)
+	case core.RPC:
+		return tr.insertRPC(t, key)
+	case core.SharedMem:
+		return tr.insertSM(t, key)
+	case core.ObjMigrate:
+		return tr.insertOM(t, key)
+	}
+	panic("btree: unknown mechanism")
+}
+
+// CheckInvariants walks the whole tree (host-level) verifying B-link
+// structure: sorted keys, bounds nested correctly, right links monotone.
+// Tests call it at quiescence.
+func (tr *Tree) CheckInvariants() error {
+	return tr.checkNode(tr.root, 0, MaxKey, tr.height)
+}

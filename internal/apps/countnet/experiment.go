@@ -1,0 +1,191 @@
+package countnet
+
+import (
+	"compmig/internal/core"
+	"compmig/internal/cost"
+	"compmig/internal/mem"
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// Config describes one counting-network run (one point of Figure 2/3).
+type Config struct {
+	Width   int    // 8 in the paper
+	Threads int    // requesting threads, each on its own processor
+	Think   uint64 // cycles between requests: 0 or 10000 in the paper
+	Scheme  core.Scheme
+	Seed    uint64
+
+	Warmup  sim.Time // cycles before the measurement window opens
+	Measure sim.Time // length of the measurement window
+
+	// Ablation knobs (nil/false reproduce the paper's configuration).
+	Model     *cost.Model // override the scheme-derived cost model
+	Mesh      bool        // 2D mesh with per-hop latency instead of a crossbar
+	MemParams *mem.Params // override the shared-memory substrate parameters
+	// TraceCap, when positive, records the last TraceCap simulation
+	// events into Result.Trace.
+	TraceCap int
+	// ThreadsPerProc co-locates several requester threads per processor
+	// (default 1, the paper's layout). More threads per processor model
+	// the Alewife multithreading the paper's machine omitted ("similar to
+	// the Alewife machine, but without its multithreading capability"):
+	// while one thread stalls on a miss or a reply, another runs.
+	ThreadsPerProc int
+}
+
+// WithDefaults fills unset fields with the paper's parameters.
+func (c Config) WithDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.Threads == 0 {
+		c.Threads = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20000
+	}
+	if c.Measure == 0 {
+		c.Measure = 200000
+	}
+	if c.ThreadsPerProc == 0 {
+		c.ThreadsPerProc = 1
+	}
+	return c
+}
+
+// Result is one measured point.
+type Result struct {
+	Scheme      string
+	Threads     int
+	Think       uint64
+	Throughput  float64 // requests per 1000 cycles (Figure 2)
+	Bandwidth   float64 // words sent per 10 cycles (Figure 3)
+	Ops         uint64  // requests completed inside the window
+	MeanLatency float64 // cycles per request over the whole run
+	Messages    uint64  // total runtime+coherence messages
+	WordsPerOp  float64 // words transmitted per high-level operation (§4.4)
+	HitRate     float64 // shared-memory cache hit rate
+	// P95Latency is the 95th-percentile request latency (upper bound).
+	P95Latency uint64
+	// EntryUtilization is the mean busy fraction of the first-stage
+	// balancer processors — where requests pile up under contention.
+	EntryUtilization float64
+	// Trace holds the tail of the execution trace when Config.TraceCap
+	// was set.
+	Trace *sim.Tracer
+	// ObjectMoves and Forwards report Emerald-style mobility activity
+	// (nonzero only under the ObjMigrate scheme).
+	ObjectMoves uint64
+	Forwards    uint64
+}
+
+// RunExperiment builds a fresh machine, runs the workload, and reports
+// windowed throughput and bandwidth.
+func RunExperiment(cfg Config) Result {
+	cfg = cfg.WithDefaults()
+	eng := sim.NewEngine(cfg.Seed)
+	var tracer *sim.Tracer
+	if cfg.TraceCap > 0 {
+		tracer = eng.EnableTrace(cfg.TraceCap)
+	}
+	model := cfg.Scheme.Model()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+
+	// Balancer processors first, then one processor per requester.
+	numBal := 0
+	for _, st := range Bitonic(cfg.Width).Stages {
+		numBal += len(st)
+	}
+	reqProcs := (cfg.Threads + cfg.ThreadsPerProc - 1) / cfg.ThreadsPerProc
+	mach := sim.NewMachine(eng, numBal+reqProcs)
+	col := stats.NewCollector()
+	topo := topology(cfg.Mesh, mach.N())
+	perHop := model.NetTransitPerHop
+	if cfg.Mesh && perHop == 0 {
+		perHop = 2
+	}
+	net := network.New(eng, topo, col, model.NetTransitBase, perHop)
+	rt := core.New(eng, mach, net, col, model)
+
+	var shm *mem.System
+	if cfg.Scheme.Mechanism == core.SharedMem {
+		mp := mem.DefaultParams()
+		if cfg.MemParams != nil {
+			mp = *cfg.MemParams
+		}
+		shm = mem.New(eng, mach, net, col, mp)
+	}
+	n := Build(rt, shm, cfg.Scheme, cfg.Width)
+
+	stop := cfg.Warmup + cfg.Measure
+	rng := eng.Rand().Fork()
+	opsStarted := uint64(0)
+	for i := 0; i < cfg.Threads; i++ {
+		i := i
+		proc := numBal + i/cfg.ThreadsPerProc
+		wire := i % cfg.Width
+		delay := sim.Time(rng.Intn(200))
+		eng.Spawn("requester", delay, func(th *sim.Thread) {
+			task := rt.NewTask(th, proc)
+			for th.Now() < stop {
+				start := th.Now()
+				opsStarted++
+				n.Traverse(task, wire)
+				col.CountOp(uint64(th.Now() - start))
+				if cfg.Think > 0 {
+					task.Think(cfg.Think)
+				}
+			}
+		})
+	}
+
+	eng.Schedule(cfg.Warmup, func() { col.MarkWindow(uint64(cfg.Warmup)) })
+	res := Result{Scheme: cfg.Scheme.Name(), Threads: cfg.Threads, Think: cfg.Think}
+	eng.Schedule(stop, func() {
+		res.Throughput = col.Throughput(uint64(stop))
+		res.Bandwidth = col.Bandwidth(uint64(stop))
+	})
+	if err := eng.Run(); err != nil {
+		panic("countnet: experiment did not quiesce: " + err.Error())
+	}
+
+	res.Ops = col.Ops
+	res.MeanLatency = col.MeanOpLatency()
+	res.Messages = col.TotalMessages()
+	if col.Ops > 0 {
+		res.WordsPerOp = float64(col.WordsSent) / float64(col.Ops)
+	}
+	res.HitRate = col.HitRate()
+	res.P95Latency = col.Latency.Quantile(0.95)
+	entry := len(Bitonic(cfg.Width).Stages[0])
+	var u float64
+	for p := 0; p < entry; p++ {
+		u += mach.Proc(p).Utilization()
+	}
+	res.EntryUtilization = u / float64(entry)
+	res.Trace = tracer
+	res.ObjectMoves = rt.Objects.Moves
+	res.Forwards = col.Forwards
+	return res
+}
+
+// topology picks the interconnect: the paper's flat crossbar, or a
+// near-square 2D mesh for the topology ablation.
+func topology(mesh bool, nprocs int) network.Topology {
+	if !mesh {
+		return network.Crossbar{}
+	}
+	w := 1
+	for w*w < nprocs {
+		w++
+	}
+	h := (nprocs + w - 1) / w
+	return network.NewMesh(w, h)
+}

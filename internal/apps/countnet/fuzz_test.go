@@ -1,0 +1,37 @@
+package countnet
+
+import "testing"
+
+// FuzzStepProperty feeds arbitrary token streams (any input-wire
+// sequence) through the sequential oracle and checks the counting
+// network's defining invariants: the step property on exit counts and
+// gap-free value assignment.
+func FuzzStepProperty(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, wires []byte) {
+		if len(wires) > 4096 {
+			wires = wires[:4096]
+		}
+		s := newSequential(8)
+		seen := make(map[int]bool, len(wires))
+		for _, w := range wires {
+			_, v := s.traverse(int(w) % 8)
+			if v < 0 || v >= len(wires) {
+				t.Fatalf("value %d out of range for %d tokens", v, len(wires))
+			}
+			if seen[v] {
+				t.Fatalf("value %d issued twice", v)
+			}
+			seen[v] = true
+		}
+		m := len(wires)
+		for i, c := range s.counts {
+			want := (m - i + 7) / 8
+			if c != want {
+				t.Fatalf("step property violated: rank %d count %d, want %d (m=%d)", i, c, want, m)
+			}
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package countnet
+
+import (
+	"os"
+	"testing"
+
+	"compmig/internal/contgen"
+)
+
+// TestGeneratedStubsInSync regenerates the traversal continuation's wire
+// stubs from the annotated source and checks app_gen.go matches.
+func TestGeneratedStubsInSync(t *testing.T) {
+	src, err := os.ReadFile("app.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := contgen.Generate("app.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("app_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("app_gen.go is stale; rerun: go run ./cmd/contgen -in internal/apps/countnet/app.go")
+	}
+}

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"testing"
+
+	"compmig/internal/cost"
+	"compmig/internal/gid"
+	"compmig/internal/msg"
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// rig is a small machine with one "cell" object per processor.
+type rig struct {
+	eng *sim.Engine
+	m   *sim.Machine
+	col *stats.Collector
+	rt  *Runtime
+
+	cells  []gid.GID
+	mGet   MethodID
+	mAdd   MethodID
+	mShort MethodID
+	cSum   ContID
+}
+
+type cell struct {
+	val   uint64
+	reads int
+}
+
+// cellArg / cellReply are the marshaled argument and result records the
+// stub compiler would generate.
+type cellArg struct{ delta uint64 }
+
+func (a *cellArg) MarshalWords(w *msg.Writer)         { w.PutU64(a.delta) }
+func (a *cellArg) UnmarshalWords(r *msg.Reader) error { a.delta = r.U64(); return r.Err() }
+
+type cellReply struct{ val uint64 }
+
+func (a *cellReply) MarshalWords(w *msg.Writer)         { w.PutU64(a.val) }
+func (a *cellReply) UnmarshalWords(r *msg.Reader) error { a.val = r.U64(); return r.Err() }
+
+// sumCont is a migratable procedure: it visits a list of cells in order,
+// accumulating their values, migrating to each cell's home processor.
+type sumCont struct {
+	r     *rig
+	idx   uint32
+	cells []gid.GID
+	acc   uint64
+}
+
+// MarshalWords ships only the live variables: the cells not yet visited
+// and the running sum — consumed prefix entries are dead and stay home.
+func (c *sumCont) MarshalWords(w *msg.Writer) {
+	rest := c.cells[c.idx:]
+	w.PutU32(uint32(len(rest)))
+	for _, g := range rest {
+		w.PutU64(uint64(g))
+	}
+	w.PutU64(c.acc)
+}
+
+func (c *sumCont) UnmarshalWords(r *msg.Reader) error {
+	c.idx = 0
+	c.cells = make([]gid.GID, int(r.U32()))
+	for i := range c.cells {
+		c.cells[i] = gid.GID(r.U64())
+	}
+	c.acc = r.U64()
+	return r.Err()
+}
+
+func (c *sumCont) Run(t *Task) {
+	for int(c.idx) < len(c.cells) {
+		g := c.cells[c.idx]
+		if !t.IsLocal(g) {
+			t.Migrate(g, c.r.cSum, c)
+			return // frame is dead; the continuation resumes at g's home
+		}
+		st := t.State(g).(*cell)
+		t.Work(10)
+		c.acc += st.val
+		st.reads++
+		c.idx++
+	}
+	t.Return(&cellReply{val: c.acc})
+}
+
+func newRig(t *testing.T, nprocs int, model cost.Model) *rig {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	m := sim.NewMachine(eng, nprocs)
+	col := stats.NewCollector()
+	net := network.New(eng, network.Crossbar{}, col, model.NetTransitBase, model.NetTransitPerHop)
+	rt := New(eng, m, net, col, model)
+	r := &rig{eng: eng, m: m, col: col, rt: rt}
+
+	r.mGet = rt.RegisterMethod("cell.get", false, func(t *Task, self any, _ *msg.Reader, reply *msg.Writer) {
+		c := self.(*cell)
+		t.Work(10)
+		c.reads++
+		reply.PutU64(c.val)
+	})
+	r.mAdd = rt.RegisterMethod("cell.add", false, func(t *Task, self any, args *msg.Reader, reply *msg.Writer) {
+		c := self.(*cell)
+		t.Work(10)
+		c.val += args.U64()
+		reply.PutU64(c.val)
+	})
+	r.mShort = rt.RegisterMethod("cell.peek", true, func(t *Task, self any, _ *msg.Reader, reply *msg.Writer) {
+		reply.PutU64(self.(*cell).val)
+	})
+	r.cSum = rt.RegisterCont("sum", func() Continuation { return &sumCont{r: r} })
+
+	for p := 0; p < nprocs; p++ {
+		r.cells = append(r.cells, rt.Objects.New(p, &cell{val: uint64(p + 1)}))
+	}
+	return r
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalCallNoMessages(t *testing.T) {
+	r := newRig(t, 4, cost.Software())
+	var got uint64
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 2)
+		var rep cellReply
+		if err := task.Call(r.cells[2], r.mGet, nil, &rep); err != nil {
+			t.Error(err)
+		}
+		got = rep.val
+	})
+	r.run(t)
+	if got != 3 {
+		t.Errorf("got %d, want 3", got)
+	}
+	if r.col.TotalMessages() != 0 {
+		t.Errorf("local call sent %d messages", r.col.TotalMessages())
+	}
+	if r.col.Cycles(stats.CatMarshal) != 0 {
+		t.Error("local call charged marshal cycles")
+	}
+}
+
+func TestRemoteRPCRoundTrip(t *testing.T) {
+	r := newRig(t, 4, cost.Software())
+	var got uint64
+	var elapsed sim.Time
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 0)
+		start := th.Now()
+		var rep cellReply
+		if err := task.Call(r.cells[3], r.mAdd, &cellArg{delta: 5}, &rep); err != nil {
+			t.Error(err)
+		}
+		got = rep.val
+		elapsed = th.Now() - start
+	})
+	r.run(t)
+	if got != 4+5 {
+		t.Errorf("got %d, want 9", got)
+	}
+	if r.col.Messages["rpc"] != 1 || r.col.Messages["reply"] != 1 {
+		t.Errorf("messages = %v, want 1 rpc + 1 reply", r.col.Messages)
+	}
+	// Cost must include two transits, both stub paths, and 10 cycles of
+	// user code — i.e. several hundred cycles in the software model.
+	if elapsed < 300 {
+		t.Errorf("remote RPC took %d cycles, implausibly cheap", elapsed)
+	}
+	if r.col.Cycles(stats.CatThreadCreation) == 0 {
+		t.Error("long method did not charge thread creation")
+	}
+	// State actually mutated at the home.
+	if st := r.rt.Objects.State(r.cells[3]).(*cell); st.val != 9 {
+		t.Errorf("remote state = %d", st.val)
+	}
+}
+
+func TestShortMethodSkipsThreadCreation(t *testing.T) {
+	r := newRig(t, 2, cost.Software())
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 0)
+		var rep cellReply
+		if err := task.Call(r.cells[1], r.mShort, nil, &rep); err != nil {
+			t.Error(err)
+		}
+	})
+	r.run(t)
+	if r.col.Cycles(stats.CatThreadCreation) != 0 {
+		t.Error("short method charged thread creation")
+	}
+	if r.col.ShortCalls != 1 {
+		t.Errorf("short calls = %d", r.col.ShortCalls)
+	}
+}
+
+func TestMigrateLocalRunsInline(t *testing.T) {
+	r := newRig(t, 4, cost.Software())
+	var got uint64
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 1)
+		var rep cellReply
+		entry := &sumCont{r: r, cells: []gid.GID{r.cells[1]}}
+		if err := task.Do(entry, &rep); err != nil {
+			t.Error(err)
+		}
+		got = rep.val
+	})
+	r.run(t)
+	if got != 2 {
+		t.Errorf("got %d, want 2", got)
+	}
+	if r.col.TotalMessages() != 0 {
+		t.Errorf("local migration sent %d messages", r.col.TotalMessages())
+	}
+	if r.col.MigrationsSent != 0 {
+		t.Error("local run counted as migration")
+	}
+}
+
+// TestMigrationChainShortCircuits is the §2.5 model in miniature: one
+// thread visits m remote objects once each; computation migration must
+// use exactly m+1 messages (m migrates + 1 direct return), while RPC uses
+// 2m.
+func TestMigrationChainShortCircuits(t *testing.T) {
+	const m = 5
+	r := newRig(t, m+1, cost.Software())
+	targets := r.cells[1:] // procs 1..5; requester on proc 0
+	var got uint64
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 0)
+		var rep cellReply
+		entry := &sumCont{r: r, cells: targets}
+		if err := task.Do(entry, &rep); err != nil {
+			t.Error(err)
+		}
+		got = rep.val
+	})
+	r.run(t)
+	want := uint64(2 + 3 + 4 + 5 + 6)
+	if got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if r.col.Messages["migrate"] != m {
+		t.Errorf("migrate messages = %d, want %d", r.col.Messages["migrate"], m)
+	}
+	if r.col.Messages["reply"] != 1 {
+		t.Errorf("reply messages = %d, want 1 (short-circuit return)", r.col.Messages["reply"])
+	}
+	if r.col.MigrationsSent != m {
+		t.Errorf("MigrationsSent = %d", r.col.MigrationsSent)
+	}
+	// Every cell was actually visited at its home.
+	for i, g := range targets {
+		if st := r.rt.Objects.State(g).(*cell); st.reads != 1 {
+			t.Errorf("cell %d reads = %d, want 1", i, st.reads)
+		}
+	}
+}
+
+// TestRPCVsMigrationMessageCounts reproduces Figure 1's message asymmetry
+// inside the runtime: n accesses to each of m remote data items.
+func TestRPCVsMigrationMessageCounts(t *testing.T) {
+	const mObjs, nAcc = 4, 3
+
+	// RPC: 2*n*m messages.
+	r1 := newRig(t, mObjs+1, cost.Software())
+	r1.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r1.rt.NewTask(th, 0)
+		for _, g := range r1.cells[1:] {
+			for a := 0; a < nAcc; a++ {
+				var rep cellReply
+				if err := task.Call(g, r1.mGet, nil, &rep); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	})
+	r1.run(t)
+	if got := r1.col.TotalMessages(); got != 2*nAcc*mObjs {
+		t.Errorf("RPC messages = %d, want %d", got, 2*nAcc*mObjs)
+	}
+
+	// Computation migration: the n accesses happen locally after one
+	// migration per object: m+1 messages total.
+	r2 := newRig(t, mObjs+1, cost.Software())
+	var seq []gid.GID
+	for _, g := range r2.cells[1:] {
+		for a := 0; a < nAcc; a++ {
+			seq = append(seq, g)
+		}
+	}
+	r2.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r2.rt.NewTask(th, 0)
+		var rep cellReply
+		if err := task.Do(&sumCont{r: r2, cells: seq}, &rep); err != nil {
+			t.Error(err)
+		}
+	})
+	r2.run(t)
+	if got := r2.col.TotalMessages(); got != mObjs+1 {
+		t.Errorf("CM messages = %d, want %d", got, mObjs+1)
+	}
+	if r2.col.WordsSent >= r1.col.WordsSent {
+		t.Errorf("CM words (%d) not below RPC words (%d)", r2.col.WordsSent, r1.col.WordsSent)
+	}
+}
+
+func TestMigrationChargesTable5Categories(t *testing.T) {
+	r := newRig(t, 2, cost.Software())
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 0)
+		var rep cellReply
+		if err := task.Do(&sumCont{r: r, cells: []gid.GID{r.cells[1]}}, &rep); err != nil {
+			t.Error(err)
+		}
+	})
+	r.run(t)
+	for _, c := range []stats.Category{
+		stats.CatSendLinkage, stats.CatSendAllocPacket, stats.CatMessageSend,
+		stats.CatMarshal, stats.CatNetworkTransit, stats.CatCopyPacket,
+		stats.CatThreadCreation, stats.CatRecvLinkage, stats.CatUnmarshal,
+		stats.CatGIDTranslation, stats.CatScheduler, stats.CatForwardingCheck,
+		stats.CatRecvAllocPacket, stats.CatUserCode,
+	} {
+		if r.col.Cycles(c) == 0 {
+			t.Errorf("category %v never charged during a migration", c)
+		}
+	}
+}
+
+func TestHardwareModelCheaper(t *testing.T) {
+	elapsed := func(model cost.Model) sim.Time {
+		r := newRig(t, 6, model)
+		var d sim.Time
+		r.eng.Spawn("req", 0, func(th *sim.Thread) {
+			task := r.rt.NewTask(th, 0)
+			start := th.Now()
+			var rep cellReply
+			if err := task.Do(&sumCont{r: r, cells: r.cells[1:]}, &rep); err != nil {
+				t.Error(err)
+			}
+			d = th.Now() - start
+		})
+		r.run(t)
+		return d
+	}
+	sw, hw := elapsed(cost.Software()), elapsed(cost.Hardware())
+	if hw >= sw {
+		t.Errorf("hardware model (%d) not faster than software (%d)", hw, sw)
+	}
+	saving := float64(sw-hw) / float64(sw)
+	if saving < 0.15 || saving > 0.45 {
+		t.Errorf("hardware saving = %.0f%%, expected roughly 20-30%%", saving*100)
+	}
+}
+
+func TestStatePanicsOffHome(t *testing.T) {
+	r := newRig(t, 2, cost.Software())
+	caught := false
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		defer func() { caught = recover() != nil }()
+		task := r.rt.NewTask(th, 0)
+		_ = task.State(r.cells[1])
+	})
+	r.run(t)
+	if !caught {
+		t.Fatal("State on remote object did not panic")
+	}
+}
+
+func TestNestedCallFromHandler(t *testing.T) {
+	r := newRig(t, 3, cost.Software())
+	// A method on cell[1] that itself RPCs cell[2] — the "client stub
+	// waits" structure.
+	relay := r.rt.RegisterMethod("cell.relay", false, func(t *Task, self any, _ *msg.Reader, reply *msg.Writer) {
+		var rep cellReply
+		if err := t.Call(r.cells[2], r.mGet, nil, &rep); err != nil {
+			panic(err)
+		}
+		reply.PutU64(rep.val + self.(*cell).val)
+	})
+	var got uint64
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 0)
+		var rep cellReply
+		if err := task.Call(r.cells[1], relay, nil, &rep); err != nil {
+			t.Error(err)
+		}
+		got = rep.val
+	})
+	r.run(t)
+	if got != 3+2 {
+		t.Errorf("nested call result = %d, want 5", got)
+	}
+	if r.col.Messages["rpc"] != 2 {
+		t.Errorf("rpc messages = %d, want 2", r.col.Messages["rpc"])
+	}
+}
+
+// TestCallFromContinuation exercises a migrated activation performing a
+// blocking RPC (the paper's mixed-mechanism tuning case).
+type callCont struct {
+	r      *rig
+	target gid.GID
+	peer   gid.GID
+}
+
+func (c *callCont) MarshalWords(w *msg.Writer) {
+	w.PutU64(uint64(c.target))
+	w.PutU64(uint64(c.peer))
+}
+
+func (c *callCont) UnmarshalWords(r *msg.Reader) error {
+	c.target = gid.GID(r.U64())
+	c.peer = gid.GID(r.U64())
+	return r.Err()
+}
+
+func (c *callCont) Run(t *Task) {
+	if !t.IsLocal(c.target) {
+		t.Migrate(c.target, t.rt.ContIDOf("callcont"), c)
+		return
+	}
+	local := t.State(c.target).(*cell).val
+	var rep cellReply
+	if err := t.Call(c.peer, c.r.mGet, nil, &rep); err != nil {
+		panic(err)
+	}
+	t.Return(&cellReply{val: local + rep.val})
+}
+
+func TestCallFromContinuation(t *testing.T) {
+	r := newRig(t, 3, cost.Software())
+	r.rt.RegisterCont("callcont", func() Continuation { return &callCont{r: r} })
+	var got uint64
+	r.eng.Spawn("req", 0, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 0)
+		var rep cellReply
+		err := task.Do(&callCont{r: r, target: r.cells[1], peer: r.cells[2]}, &rep)
+		if err != nil {
+			t.Error(err)
+		}
+		got = rep.val
+	})
+	r.run(t)
+	if got != 2+3 {
+		t.Errorf("got %d, want 5", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	trial := func() (uint64, uint64, sim.Time) {
+		r := newRig(t, 8, cost.Software())
+		for i := 0; i < 4; i++ {
+			i := i
+			r.eng.Spawn("req", 0, func(th *sim.Thread) {
+				task := r.rt.NewTask(th, i)
+				for round := 0; round < 3; round++ {
+					var rep cellReply
+					g := r.cells[(i+round+1)%8]
+					if err := task.Call(g, r.mAdd, &cellArg{delta: 1}, &rep); err != nil {
+						t.Error(err)
+					}
+					th.Sleep(sim.Time(r.eng.Rand().Intn(100)))
+				}
+			})
+		}
+		if err := r.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.col.WordsSent, r.col.TotalCycles(), r.eng.Now()
+	}
+	w1, c1, t1 := trial()
+	w2, c2, t2 := trial()
+	if w1 != w2 || c1 != c2 || t1 != t2 {
+		t.Fatalf("nondeterministic run: (%d,%d,%d) vs (%d,%d,%d)", w1, c1, t1, w2, c2, t2)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	cases := []struct {
+		s    Scheme
+		want string
+	}{
+		{Scheme{Mechanism: SharedMem}, "SM"},
+		{Scheme{Mechanism: RPC}, "RPC"},
+		{Scheme{Mechanism: RPC, HWMessaging: true}, "RPC w/HW"},
+		{Scheme{Mechanism: RPC, Replication: true}, "RPC w/repl."},
+		{Scheme{Mechanism: RPC, Replication: true, HWMessaging: true}, "RPC w/repl. & HW"},
+		{Scheme{Mechanism: Migrate}, "CP"},
+		{Scheme{Mechanism: Migrate, HWMessaging: true}, "CP w/HW"},
+		{Scheme{Mechanism: Migrate, Replication: true, HWMessaging: true}, "CP w/repl. & HW"},
+	}
+	for _, c := range cases {
+		if got := c.s.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSchemeModel(t *testing.T) {
+	plain := Scheme{Mechanism: Migrate}.Model()
+	if plain.HWMessaging || plain.HWTranslation {
+		t.Error("plain scheme has hardware flags")
+	}
+	hw := Scheme{Mechanism: Migrate, HWMessaging: true}.Model()
+	if !hw.HWMessaging || !hw.HWTranslation {
+		t.Error("w/HW scheme should bundle both hardware estimates")
+	}
+	if hw.SendAllocPacket != 0 || hw.GIDTranslation != 0 {
+		t.Error("hardware reductions not applied")
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	r := newRig(t, 2, cost.Software())
+	r.eng.Spawn("req", 3, func(th *sim.Thread) {
+		task := r.rt.NewTask(th, 1)
+		if task.Runtime() != r.rt {
+			t.Error("Runtime accessor wrong")
+		}
+		if task.Thread() != th {
+			t.Error("Thread accessor wrong")
+		}
+		if task.Proc() != 1 {
+			t.Error("Proc accessor wrong")
+		}
+		before := task.Now()
+		task.Think(100)
+		if task.Now() != before+100 {
+			t.Errorf("Think advanced %d cycles", task.Now()-before)
+		}
+	})
+	r.run(t)
+}

@@ -1,0 +1,332 @@
+// Package core is the paper's contribution: a Prelude-like object-based
+// runtime for a distributed-memory machine offering RPC, data migration
+// via cache-coherent shared memory, and computation migration of
+// activation frames — plus, as extensions, Emerald-style whole-object
+// migration with forwarding, multi-frame migration, and partial-frame
+// migration.
+//
+// The programming model mirrors what the Prelude compiler emits. An
+// application procedure that may migrate is written as a chain of
+// Continuation records: each record's fields are exactly the live
+// variables at the potential migration point, and its Run method is the
+// continuation of the procedure from that point (§3.2: "The continuation
+// procedure's body is the continuation of the migrating procedure at the
+// point of migration; its arguments are the live variables at that
+// point"). Go cannot serialize closures, so these records are explicit
+// structs with word-level marshalers — the same artifacts the Prelude
+// compiler generates from an annotation.
+package core
+
+import (
+	"fmt"
+
+	"compmig/internal/cost"
+	"compmig/internal/gid"
+	"compmig/internal/msg"
+	"compmig/internal/network"
+	"compmig/internal/object"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// Mechanism selects how remote accesses are performed.
+type Mechanism int
+
+const (
+	// RPC performs each access remotely via a call/reply message pair.
+	RPC Mechanism = iota
+	// Migrate ships the current activation to the data (computation
+	// migration).
+	Migrate
+	// SharedMem leaves the thread in place and accesses data through
+	// cache-coherent shared memory (data migration).
+	SharedMem
+	// ObjMigrate moves whole objects to the accessing processor without
+	// replication, as in Emerald — the comparison §4 wanted to run.
+	ObjMigrate
+)
+
+// String names the mechanism as in the paper's tables.
+func (m Mechanism) String() string {
+	switch m {
+	case RPC:
+		return "RPC"
+	case Migrate:
+		return "CM"
+	case SharedMem:
+		return "SM"
+	case ObjMigrate:
+		return "OM"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Scheme is one column of the paper's tables: a mechanism plus optional
+// hardware support and software replication.
+type Scheme struct {
+	Mechanism   Mechanism
+	HWMessaging bool // register-mapped network interface estimate [HJ92]
+	HWTranslate bool // hardware GID translation estimate [DCC+87]
+	Replication bool // software replication of hot objects [WW90]
+}
+
+// Name renders the scheme label used in the paper ("CP w/repl. & HW").
+func (s Scheme) Name() string {
+	n := s.Mechanism.String()
+	if s.Mechanism == Migrate {
+		n = "CP" // the paper's tables abbreviate computation migration as CP
+	}
+	switch {
+	case s.Replication && s.HWMessaging:
+		return n + " w/repl. & HW"
+	case s.Replication:
+		return n + " w/repl."
+	case s.HWMessaging:
+		return n + " w/HW"
+	default:
+		return n
+	}
+}
+
+// Model returns the cost model implied by the scheme's hardware flags.
+func (s Scheme) Model() cost.Model {
+	m := cost.Software()
+	if s.HWMessaging {
+		m = m.WithHWMessaging()
+	}
+	if s.HWTranslate || s.HWMessaging {
+		// The paper's "w/HW" rows bundle both estimates.
+		m = m.WithHWTranslation()
+	}
+	return m
+}
+
+// MethodID names a registered instance method.
+type MethodID uint32
+
+// Handler is an instance-method body. It executes at the object's home
+// processor with the object's private state; args arrive through the
+// word-level reader and results leave through the writer.
+type Handler func(t *Task, self any, args *msg.Reader, reply *msg.Writer)
+
+type methodEntry struct {
+	name    string
+	short   bool // active-message fast path: no handler thread is created
+	handler Handler
+}
+
+// ContID names a registered continuation procedure.
+type ContID uint32
+
+// Continuation is a migratable activation record: its fields are the live
+// variables at the migration point and Run is the rest of the procedure.
+type Continuation interface {
+	msg.Marshaler
+	msg.Unmarshaler
+	// Run resumes the procedure. It must either call Task.Return exactly
+	// once (possibly indirectly through further Migrate calls) before the
+	// outermost frame finishes, and must return immediately after a
+	// Migrate call that moved the computation away.
+	Run(t *Task)
+}
+
+type contEntry struct {
+	name    string
+	factory func() Continuation
+}
+
+// Runtime wires the simulated machine, network, cost model, and object
+// space into the Prelude-like runtime system.
+type Runtime struct {
+	Eng     *sim.Engine
+	Mach    *sim.Machine
+	Net     *network.Network
+	Col     *stats.Collector
+	Model   cost.Model
+	Objects *object.Space
+
+	methods  []methodEntry
+	methodID map[string]MethodID
+	conts    []contEntry
+	contID   map[string]ContID
+
+	replies     map[uint32]*sim.Future
+	nextReplyID uint32
+	freeIDs     []uint32
+	// residuals holds the stay-behind halves of partially migrated
+	// activations, keyed by the reply slot their migrated half answers.
+	residuals map[uint32]*residualEntry
+
+	// locHints[p] caches processor p's last known locations of objects
+	// that have migrated away from their birth home.
+	locHints []map[gid.GID]int
+
+	// pins holds per-object pin deadlines: a freshly moved object cannot
+	// be fetched away again until its pin expires, so its new holder is
+	// guaranteed to get its access in (Emerald-style invocation pinning).
+	pins map[gid.GID]sim.Time
+	// PinCycles is the pin window applied after each object move.
+	PinCycles sim.Time
+
+	// Activations counts migration activations started here (for Table 5
+	// averaging); Migrations counts migrate messages sent.
+	Activations uint64
+}
+
+// New creates a runtime over an existing machine and network.
+func New(eng *sim.Engine, mach *sim.Machine, net *network.Network, col *stats.Collector, model cost.Model) *Runtime {
+	return &Runtime{
+		Eng: eng, Mach: mach, Net: net, Col: col, Model: model,
+		Objects:   object.NewSpace(mach.N()),
+		methodID:  make(map[string]MethodID),
+		contID:    make(map[string]ContID),
+		replies:   make(map[uint32]*sim.Future),
+		residuals: make(map[uint32]*residualEntry),
+		locHints:  make([]map[gid.GID]int, mach.N()),
+		pins:      make(map[gid.GID]sim.Time),
+		PinCycles: 200,
+	}
+}
+
+// RegisterMethod installs an instance method under a unique name. Short
+// methods use Prelude's active-message fast path: the handler runs in the
+// message dispatch without creating a thread (§4.3), so it must not block.
+func (rt *Runtime) RegisterMethod(name string, short bool, h Handler) MethodID {
+	if _, dup := rt.methodID[name]; dup {
+		panic("core: duplicate method " + name)
+	}
+	id := MethodID(len(rt.methods))
+	rt.methods = append(rt.methods, methodEntry{name: name, short: short, handler: h})
+	rt.methodID[name] = id
+	return id
+}
+
+// RegisterCont installs a continuation procedure type. The factory
+// produces an empty record for the receiving side to unmarshal into —
+// this is the server stub the Prelude compiler would generate.
+func (rt *Runtime) RegisterCont(name string, factory func() Continuation) ContID {
+	if _, dup := rt.contID[name]; dup {
+		panic("core: duplicate continuation " + name)
+	}
+	id := ContID(len(rt.conts))
+	rt.conts = append(rt.conts, contEntry{name: name, factory: factory})
+	rt.contID[name] = id
+	return id
+}
+
+// ContIDOf looks up a registered continuation by name.
+func (rt *Runtime) ContIDOf(name string) ContID {
+	id, ok := rt.contID[name]
+	if !ok {
+		panic("core: unknown continuation " + name)
+	}
+	return id
+}
+
+// newReply allocates a reply slot. IDs are recycled through a free list
+// so the live range stays small enough to pack into wire words together
+// with the processor number — like real systems' bounded reply-slot
+// tables.
+func (rt *Runtime) newReply() (uint32, *sim.Future) {
+	var id uint32
+	if n := len(rt.freeIDs); n > 0 {
+		id = rt.freeIDs[n-1]
+		rt.freeIDs = rt.freeIDs[:n-1]
+	} else {
+		rt.nextReplyID++
+		id = rt.nextReplyID
+	}
+	f := &sim.Future{}
+	rt.replies[id] = f
+	return id, f
+}
+
+func (rt *Runtime) completeReply(id uint32, words []uint32) {
+	f, ok := rt.replies[id]
+	if !ok {
+		panic(fmt.Sprintf("core: reply id %d unknown or already completed", id))
+	}
+	delete(rt.replies, id)
+	rt.freeIDs = append(rt.freeIDs, id)
+	if ent, pending := rt.residuals[id]; pending {
+		// The reply belongs to a partially migrated activation: wake its
+		// stay-behind half instead of a waiting future.
+		delete(rt.residuals, id)
+		rt.resumeResidual(ent, words)
+		return
+	}
+	f.Complete(words)
+}
+
+// packLinkage squeezes a reply handle into one wire word: 12 bits of
+// processor, 20 bits of recycled reply id.
+func packLinkage(proc int, id uint32) uint32 {
+	if proc < 0 || proc >= 1<<12 {
+		panic(fmt.Sprintf("core: processor %d does not fit linkage packing", proc))
+	}
+	if id >= 1<<20 {
+		panic(fmt.Sprintf("core: reply id %d does not fit linkage packing", id))
+	}
+	return uint32(proc)<<20 | id
+}
+
+// unpackLinkage reverses packLinkage.
+func unpackLinkage(w uint32) (proc int, id uint32) {
+	return int(w >> 20), w & (1<<20 - 1)
+}
+
+// chargeSend accounts the client-stub send path for a payload of words
+// 32-bit words and returns its total cycle cost.
+func (rt *Runtime) chargeSend(words uint64) uint64 {
+	m := rt.Model
+	rt.Col.AddCycles(stats.CatSendLinkage, m.SendLinkage)
+	rt.Col.AddCycles(stats.CatSendAllocPacket, m.SendAllocPacket)
+	rt.Col.AddCycles(stats.CatMessageSend, m.MessageSend)
+	rt.Col.AddCycles(stats.CatMarshal, m.Marshal(words))
+	return m.SendLinkage + m.SendAllocPacket + m.MessageSend + m.Marshal(words)
+}
+
+// chargeRecv accounts the server-side receive path (dispatch of an rpc or
+// migrate message) and returns its total cycle cost.
+func (rt *Runtime) chargeRecv(words uint64, short bool) uint64 {
+	m := rt.Model
+	rt.Col.AddCycles(stats.CatCopyPacket, m.CopyPacket(words))
+	rt.Col.AddCycles(stats.CatRecvLinkage, m.RecvLinkage)
+	rt.Col.AddCycles(stats.CatUnmarshal, m.Unmarshal(words))
+	rt.Col.AddCycles(stats.CatGIDTranslation, m.GIDTranslation)
+	rt.Col.AddCycles(stats.CatScheduler, m.Scheduler)
+	rt.Col.AddCycles(stats.CatForwardingCheck, m.ForwardingCheck)
+	rt.Col.AddCycles(stats.CatRecvAllocPacket, m.RecvAllocPacket)
+	total := m.CopyPacket(words) + m.RecvLinkage + m.Unmarshal(words) +
+		m.GIDTranslation + m.Scheduler + m.ForwardingCheck + m.RecvAllocPacket
+	if !short {
+		rt.Col.AddCycles(stats.CatThreadCreation, m.ThreadCreation)
+		total += m.ThreadCreation
+	}
+	return total
+}
+
+// ChargeSendPath exposes the client-stub send-path accounting to sibling
+// runtime layers (the replication package prices its update broadcasts
+// through the same model).
+func (rt *Runtime) ChargeSendPath(words uint64) uint64 { return rt.chargeSend(words) }
+
+// ChargeRecvReplyPath exposes the light receive-path accounting.
+func (rt *Runtime) ChargeRecvReplyPath(words uint64) uint64 { return rt.chargeRecvReply(words) }
+
+// chargeRecvReply accounts the client-stub path for an incoming reply.
+// Prelude dispatches replies through the same general-purpose stubs as
+// requests (§4.3), so the path pays copy, linkage, unmarshal, packet
+// bookkeeping, and the scheduler wakeup — everything but object-ID
+// translation, the forwarding check, and handler-thread creation.
+func (rt *Runtime) chargeRecvReply(words uint64) uint64 {
+	m := rt.Model
+	rt.Col.AddCycles(stats.CatCopyPacket, m.CopyPacket(words))
+	rt.Col.AddCycles(stats.CatRecvLinkage, m.RecvLinkage)
+	rt.Col.AddCycles(stats.CatUnmarshal, m.Unmarshal(words))
+	rt.Col.AddCycles(stats.CatScheduler, m.Scheduler)
+	rt.Col.AddCycles(stats.CatRecvAllocPacket, m.RecvAllocPacket)
+	return m.CopyPacket(words) + m.RecvLinkage + m.Unmarshal(words) +
+		m.Scheduler + m.RecvAllocPacket
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"compmig/internal/gid"
+	"compmig/internal/msg"
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// replyHandle is the linkage information that travels with a migrating
+// computation: where the operation's final result must be delivered. It
+// is what lets a chain of migrations "in the end return directly to its
+// caller" (§3.2).
+type replyHandle struct {
+	proc int
+	id   uint32
+}
+
+// Task is an executing activation: a simulated thread positioned on a
+// processor, plus the linkage for the current operation's result. A Task
+// moves when the computation migrates.
+type Task struct {
+	rt   *Runtime
+	th   *sim.Thread
+	proc *sim.Proc
+
+	reply    replyHandle
+	atBase   bool // true for a remote activation (frame at the base of its stack)
+	isMethod bool // true inside an instance-method handler
+	migrated bool // set once the activation has migrated away
+	returned bool // set once Return has delivered the result
+
+	// frames are caller activations riding along with the computation
+	// (multi-activation migration; see frames.go).
+	frames []pendingFrame
+}
+
+// NewTask binds a requester thread running on processor proc.
+func (rt *Runtime) NewTask(th *sim.Thread, proc int) *Task {
+	return &Task{rt: rt, th: th, proc: rt.Mach.Proc(proc)}
+}
+
+// Runtime returns the owning runtime.
+func (t *Task) Runtime() *Runtime { return t.rt }
+
+// Thread returns the simulated thread currently backing this task.
+func (t *Task) Thread() *sim.Thread { return t.th }
+
+// Proc returns the processor the task is currently executing on.
+func (t *Task) Proc() int { return t.proc.ID() }
+
+// Now returns the simulated time.
+func (t *Task) Now() sim.Time { return t.th.Now() }
+
+// Work charges n cycles of application computation on the current
+// processor (Table 5 "User code").
+func (t *Task) Work(n uint64) {
+	t.rt.Col.AddCycles(stats.CatUserCode, n)
+	t.th.Exec(t.proc, n)
+}
+
+// Think suspends the task without occupying the processor (the paper's
+// "think time" between requests).
+func (t *Task) Think(n uint64) { t.th.Sleep(n) }
+
+// IsLocal reports whether object g currently lives on this processor —
+// the check the runtime performs on every instance method call. It
+// consults the object table, so it stays authoritative after the object
+// migrates.
+func (t *Task) IsLocal(g gid.GID) bool { return t.rt.Objects.Home(g) == t.proc.ID() }
+
+// State returns the private state of a local object. It panics when
+// invoked away from the object's home: instance state may only be touched
+// by code running at the object ("instance methods always execute at the
+// object on which they are invoked", §3.1).
+func (t *Task) State(g gid.GID) any {
+	if !t.IsLocal(g) {
+		panic(fmt.Sprintf("core: touching state of object on proc %d from proc %d",
+			t.rt.Objects.Home(g), t.proc.ID()))
+	}
+	return t.rt.Objects.State(g)
+}
+
+// Do executes a migratable procedure. The entry continuation starts on
+// the current processor (procedures begin where they are called) and may
+// migrate any number of times; Do blocks until some hop calls Return,
+// then decodes the result into out (which may be nil when the procedure
+// returns no values).
+func (t *Task) Do(entry Continuation, out msg.Unmarshaler) error {
+	if t.isMethod {
+		panic("core: instance method activations may not start migratable procedures")
+	}
+	id, fut := t.rt.newReply()
+	child := &Task{rt: t.rt, th: t.th, proc: t.proc, reply: replyHandle{proc: t.proc.ID(), id: id}}
+	entry.Run(child)
+	// Either the procedure completed locally (future already done) or it
+	// migrated away and this thread is now the waiting client stub.
+	words := fut.Wait(t.th).([]uint32)
+	if out == nil {
+		return nil
+	}
+	return msg.Decode(words, out)
+}
+
+// Migrate moves the remainder of the current procedure to object g's
+// home processor. Migration is conditional on location (§3.1): when g is
+// local the continuation simply runs here, at zero added cost. Otherwise
+// next's live variables are marshaled into a single message, the current
+// frame dies, and a fresh activation continues at the destination. The
+// caller must return immediately after Migrate.
+func (t *Task) Migrate(g gid.GID, contID ContID, next Continuation) {
+	if t.isMethod {
+		panic("core: instance method activations may not migrate (§3.1)")
+	}
+	if t.migrated {
+		panic("core: Migrate on a dead frame (missing return after Migrate?)")
+	}
+	if t.IsLocal(g) {
+		next.Run(t)
+		return
+	}
+	t.migrated = true
+	rt := t.rt
+	rt.Col.MigrationsSent++
+	rt.Eng.Tracef("migrate", "frame -> p%d (obj %#x)", rt.Objects.Home(g), uint64(g))
+
+	// Build the wire record: target object + continuation id + linkage +
+	// any riding caller frames + live variables. The target GID is what
+	// the receiving runtime translates and forward-checks (Table 5).
+	w := msg.NewWriter(10)
+	w.PutU64(uint64(g))
+	w.PutU32(packContHeader(contID, len(t.frames)))
+	w.PutU32(packLinkage(t.reply.proc, t.reply.id))
+	t.marshalFrameBodies(w)
+	next.MarshalWords(w)
+	payload := w.Words()
+	words := uint64(len(payload)) + network.HeaderWords
+
+	// Client-stub send path runs on the current processor.
+	t.th.Exec(t.proc, rt.chargeSend(words))
+	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "migrate", Payload: payload},
+		rt.deliverMigrate)
+	// The frame at this processor is now dead. If it was itself a remote
+	// activation, the thread is destroyed when Run returns; if it was the
+	// original caller's frame, Do is waiting on the reply future.
+}
+
+// deliverMigrate is the server stub for an arriving migration: it charges
+// the receive path on the destination processor, creates the activation
+// thread, reconstructs the continuation record, and resumes it.
+func (rt *Runtime) deliverMigrate(m *network.Message) {
+	target := gid.GID(msg.NewReader(m.Payload).U64())
+	if actual := rt.Objects.Home(target); actual != m.Dst {
+		rt.forward(m, actual, rt.deliverMigrate)
+		return
+	}
+	dst := rt.Mach.Proc(m.Dst)
+	words := uint64(len(m.Payload)) + network.HeaderWords
+	overhead := rt.chargeRecv(words, false)
+	dst.ExecAsync(overhead, func() {
+		rt.Activations++
+		rt.Eng.Spawn("activation", 0, func(th *sim.Thread) {
+			r := msg.NewReader(m.Payload)
+			r.U64() // target gid, checked before dispatch
+			contID, nframes := unpackContHeader(r.U32())
+			proc, id := unpackLinkage(r.U32())
+			rh := replyHandle{proc: proc, id: id}
+			if int(contID) >= len(rt.conts) {
+				panic(fmt.Sprintf("core: unknown continuation id %d", contID))
+			}
+			frames := rt.unmarshalFrames(r, nframes)
+			next := rt.conts[contID].factory()
+			if err := next.UnmarshalWords(r); err != nil {
+				panic("core: corrupt continuation record: " + err.Error())
+			}
+			if err := r.Err(); err != nil {
+				panic("core: continuation payload mismatch: " + err.Error())
+			}
+			// A thread migration carries the rest of the thread's state as
+			// trailing words; a plain migration must consume everything.
+			if m.Kind != "thread-migrate" && r.Remaining() != 0 {
+				panic(fmt.Sprintf("core: %d trailing words in migration payload", r.Remaining()))
+			}
+			task := &Task{rt: rt, th: th, proc: dst, reply: rh, atBase: true, frames: frames}
+			next.Run(task)
+			if !task.migrated && !task.returned {
+				panic("core: activation " + rt.conts[contID].name + " finished without Return or Migrate")
+			}
+			// Activation thread dies here — the paper's "destroy the
+			// original thread" for frames at the base of their stack.
+		})
+	})
+}
+
+// Return delivers the procedure's result to the operation's caller. When
+// the computation has migrated, this short-circuits: one message travels
+// directly from the final processor to the original caller, skipping
+// every intermediate hop.
+func (t *Task) Return(result msg.Marshaler) {
+	if t.returned {
+		panic("core: double Return")
+	}
+	rt := t.rt
+	var resultWords []uint32
+	if result != nil {
+		resultWords = msg.Encode(result)
+	}
+	if len(t.frames) > 0 {
+		// A caller frame migrated along with this computation: resume it
+		// here instead of returning — no message at all.
+		t.popFrame(resultWords)
+		return
+	}
+	t.returned = true
+	if t.reply.proc == t.proc.ID() {
+		// Local completion: the procedure never left (or returned home);
+		// results pass in registers, no messages.
+		rt.completeReply(t.reply.id, resultWords)
+		return
+	}
+	w := msg.NewWriter(1 + len(resultWords))
+	w.PutU32(t.reply.id)
+	w.PutRaw(resultWords)
+	payload := w.Words()
+	words := uint64(len(payload)) + network.HeaderWords
+	t.th.Exec(t.proc, rt.chargeSend(words))
+	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: t.reply.proc, Kind: "reply", Payload: payload},
+		rt.deliverReply)
+}
+
+// deliverReply is the client-stub receive path for a returning result.
+func (rt *Runtime) deliverReply(m *network.Message) {
+	dst := rt.Mach.Proc(m.Dst)
+	words := uint64(len(m.Payload)) + network.HeaderWords
+	overhead := rt.chargeRecvReply(words)
+	dst.ExecAsync(overhead, func() {
+		r := msg.NewReader(m.Payload)
+		id := r.U32()
+		rest := make([]uint32, r.Remaining())
+		copy(rest, m.Payload[1:])
+		rt.completeReply(id, rest)
+	})
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"compmig/internal/apps/btree"
+	"compmig/internal/apps/countnet"
+	"compmig/internal/core"
+)
+
+// ObjMigration runs the comparison the paper wanted but could not
+// ("We would like to compare our results to object migration, such as
+// the mechanism in Emerald, but our group has not finished implementing
+// object migration in Prelude yet", §4): Emerald-style whole-object
+// migration against the paper's three mechanisms on the counting
+// network, at both contention levels.
+func ObjMigration(o Options) Table {
+	warmup, measure := o.windows()
+	t := Table{
+		ID:    "EXT-OBJMIG",
+		Title: "Counting network with Emerald-style object migration, requests/1000 cycles",
+		Note: "extension beyond the paper: write-shared balancers ping-pong between " +
+			"requesters under object migration, so it behaves like unreplicated data " +
+			"migration — §2.2's prediction",
+		Headers: []string{"scheme", "think=0", "think=10000", "moves", "forwards"},
+	}
+	for _, s := range []core.Scheme{
+		{Mechanism: core.SharedMem},
+		{Mechanism: core.Migrate},
+		{Mechanism: core.RPC},
+		{Mechanism: core.ObjMigrate},
+	} {
+		row := []string{s.Name()}
+		var moves, forwards string
+		for _, think := range []uint64{0, 10000} {
+			r := countnet.RunExperiment(countnet.Config{
+				Threads: 16, Think: think, Scheme: s,
+				Seed: o.seed(), Warmup: warmup, Measure: measure,
+			})
+			row = append(row, fmt.Sprintf("%.2f", r.Throughput))
+			moves = fmt.Sprintf("%d", r.ObjectMoves)
+			forwards = fmt.Sprintf("%d", r.Forwards)
+		}
+		row = append(row, moves, forwards)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// BtreeObjMigration runs the same extension on the B-tree: pulling the
+// read-mostly upper nodes around is better than ping-ponging balancers,
+// but the shared root still makes whole-object migration lose to
+// computation migration.
+func BtreeObjMigration(o Options) Table {
+	warmup, measure := o.windows()
+	t := Table{
+		ID:    "EXT-OBJMIG-BTREE",
+		Title: "B-tree with Emerald-style object migration, ops/1000 cycles (0 think time)",
+		Note: "extension beyond the paper: every requester pulls the root and interior " +
+			"nodes to itself, so the hot upper levels ping-pong instead of being shared",
+		Headers: []string{"scheme", "throughput", "moves", "forwards"},
+	}
+	for _, s := range []core.Scheme{
+		{Mechanism: core.Migrate},
+		{Mechanism: core.RPC},
+		{Mechanism: core.ObjMigrate},
+	} {
+		r := btree.RunExperiment(btree.Config{
+			Scheme: s, Think: 0, Seed: o.seed(),
+			Warmup: warmup, Measure: measure,
+		})
+		t.Rows = append(t.Rows, []string{
+			s.Name(), fmt.Sprintf("%.3f", r.Throughput),
+			fmt.Sprintf("%d", r.ObjectMoves), fmt.Sprintf("%d", r.Forwards),
+		})
+	}
+	return t
+}

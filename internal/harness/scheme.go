@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"compmig/internal/core"
+)
+
+// ParseScheme parses a command-line scheme spec: a mechanism ("rpc",
+// "cm", or "sm") optionally followed by "+hw" and/or "+repl", e.g.
+// "cm+repl+hw".
+func ParseScheme(spec string) (core.Scheme, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(spec)), "+")
+	var s core.Scheme
+	switch parts[0] {
+	case "rpc":
+		s.Mechanism = core.RPC
+	case "cm", "cp", "migrate":
+		s.Mechanism = core.Migrate
+	case "sm", "shm", "sharedmem":
+		s.Mechanism = core.SharedMem
+	default:
+		return s, fmt.Errorf("unknown mechanism %q (want rpc, cm, or sm)", parts[0])
+	}
+	for _, opt := range parts[1:] {
+		switch opt {
+		case "hw":
+			s.HWMessaging = true
+			s.HWTranslate = true
+		case "repl":
+			s.Replication = true
+		default:
+			return s, fmt.Errorf("unknown scheme option %q (want hw or repl)", opt)
+		}
+	}
+	if s.Mechanism == core.SharedMem && (s.HWMessaging || s.Replication) {
+		return s, fmt.Errorf("shared memory already includes hardware support and replication")
+	}
+	return s, nil
+}

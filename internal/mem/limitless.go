@@ -1,0 +1,103 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LimitLESS support. The Alewife protocol the paper points to [CKA91]
+// keeps a small fixed number of hardware directory pointers per line;
+// when a line gains more sharers than that, directory operations on it
+// trap to software on the home node's CPU. Widely read-shared lines are
+// therefore cheap to read but expensive to invalidate — and the home
+// processor, not just its memory module, pays for it.
+//
+// DirPointers == 0 selects a full-map hardware directory (the default,
+// and what the experiments in the paper's tables assume); a positive
+// value enables the LimitLESS behaviour for ablation studies.
+
+// softwareHandled reports whether a directory operation on this entry
+// must trap to software, and charges the home CPU when it does.
+func (s *System) softwareHandled(home int, d *dirEntry, done func()) bool {
+	if s.p.DirPointers <= 0 || len(d.sharers) <= s.p.DirPointers {
+		return false
+	}
+	s.col.LimitlessTraps++
+	// The trap runs on the home processor itself: interrupt entry, walk
+	// of the overflowed sharer set, interrupt exit.
+	cost := s.p.SoftDirBase + s.p.SoftDirPerSharer*uint64(len(d.sharers))
+	s.mach.Proc(home).ExecAsync(cost, done)
+	return true
+}
+
+// CheckCoherence validates the protocol's single-writer/multi-reader
+// invariant at quiescence (no transactions in flight):
+//
+//   - at most one cache holds a given line modified;
+//   - a modified copy excludes shared copies elsewhere;
+//   - a modified copy is recorded as the directory owner;
+//   - every cached copy is known to the directory (sharer or owner) —
+//     silent shared evictions may leave stale directory entries, but
+//     never the reverse.
+//
+// Tests call it after the event heap drains.
+func (s *System) CheckCoherence() error {
+	type holder struct {
+		proc  int
+		state lineState
+	}
+	holders := make(map[Addr][]holder)
+	for p, c := range s.caches {
+		for _, set := range c.sets {
+			for _, l := range set {
+				if l.state != invalid {
+					holders[l.tag] = append(holders[l.tag], holder{proc: p, state: l.state})
+				}
+			}
+		}
+	}
+	lines := make([]Addr, 0, len(holders))
+	for line := range holders {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+
+	for _, line := range lines {
+		hs := holders[line]
+		d := s.dirs[HomeOf(line)][line]
+		if d == nil {
+			return fmt.Errorf("mem: line %#x cached with no directory entry", line)
+		}
+		if d.busy {
+			return fmt.Errorf("mem: line %#x directory busy at quiescence", line)
+		}
+		modOwner := -1
+		for _, h := range hs {
+			if h.state != modified {
+				continue
+			}
+			if modOwner >= 0 {
+				return fmt.Errorf("mem: line %#x modified in caches %d and %d", line, modOwner, h.proc)
+			}
+			modOwner = h.proc
+		}
+		if modOwner >= 0 {
+			if len(hs) > 1 {
+				return fmt.Errorf("mem: line %#x has %d copies alongside a modified one", line, len(hs))
+			}
+			if d.owner != modOwner {
+				return fmt.Errorf("mem: line %#x modified in cache %d but directory owner is %d",
+					line, modOwner, d.owner)
+			}
+			continue
+		}
+		// Shared copies: each must be a recorded sharer (or the stale
+		// owner whose recall raced a writeback hint).
+		for _, h := range hs {
+			if _, ok := d.sharers[h.proc]; !ok && d.owner != h.proc {
+				return fmt.Errorf("mem: line %#x cached shared on %d unknown to directory", line, h.proc)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,502 @@
+// Package mem implements the paper's data-migration substrate:
+// Alewife-style cache-coherent shared memory. Each processor has a 64KB,
+// 16-byte-line cache; each line has a home memory module holding a
+// full-map directory entry; the protocol is MSI with invalidation on
+// write (the same family as LimitLESS/DASH).
+//
+// The simulation is execution-driven in the Proteus sense: the substrate
+// tracks tags, states, sharers, latency, processor/memory-module
+// occupancy, and word traffic, while the actual datum lives in ordinary
+// Go objects owned by the application. Coherence messages travel on the
+// same simulated network as runtime messages but are priced as hardware:
+// they pay wire latency and consume bandwidth, with no software stub
+// overhead — exactly the asymmetry the paper studies ("we are actually
+// comparing a software implementation of RPC and computation migration
+// to a hardware implementation of data migration").
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// Addr is a simulated shared-memory address. The home processor is packed
+// into the upper bits.
+type Addr uint64
+
+const (
+	// LineBytes is the cache line size (16 bytes, as in the paper).
+	LineBytes = 16
+	// LineWords is the line size in 32-bit words.
+	LineWords = LineBytes / 4
+
+	homeShift = 40
+)
+
+// HomeOf returns the processor whose memory module owns addr.
+func HomeOf(a Addr) int { return int(uint64(a) >> homeShift) }
+
+// lineOf returns the line-aligned address containing a.
+func lineOf(a Addr) Addr { return a &^ (LineBytes - 1) }
+
+// Params prices the hardware substrate.
+type Params struct {
+	CacheBytes int    // per-processor cache capacity (default 64KB)
+	Ways       int    // set associativity (default 1: direct-mapped)
+	HitCycles  uint64 // CPU cycles for a cache hit / lookup
+	DirCycles  uint64 // memory-module occupancy per directory transaction
+	MemCycles  uint64 // additional DRAM access time for data
+	CtrlCycles uint64 // cache/directory controller handling per protocol message
+	InstallCyc uint64 // CPU cycles to install an arriving line
+	AddrWords  uint64 // words to name an address on the wire
+
+	// LimitLESS directory emulation (0 = full-map hardware directory).
+	// With DirPointers > 0, directory work on a line whose sharer set
+	// exceeds the pointer count traps to software on the home CPU at
+	// SoftDirBase + SoftDirPerSharer·|sharers| cycles.
+	DirPointers      int
+	SoftDirBase      uint64
+	SoftDirPerSharer uint64
+}
+
+// DefaultParams returns the configuration used throughout the paper's
+// experiments: 64K direct-mapped caches with 16-byte lines, as on the
+// Alewife machine the paper's target resembles.
+func DefaultParams() Params {
+	return Params{
+		CacheBytes: 64 << 10,
+		Ways:       1,
+		HitCycles:  2,
+		DirCycles:  25,
+		MemCycles:  25,
+		CtrlCycles: 30,
+		InstallCyc: 2,
+		AddrWords:  2,
+
+		SoftDirBase:      150,
+		SoftDirPerSharer: 20,
+	}
+}
+
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	shared
+	modified
+)
+
+type cacheLine struct {
+	tag   Addr
+	state lineState
+	lru   uint64
+}
+
+type cache struct {
+	sets [][]cacheLine
+	mask uint64
+	tick uint64
+}
+
+func newCache(p Params) *cache {
+	lines := p.CacheBytes / LineBytes
+	sets := lines / p.Ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache must have a power-of-two set count, got %d", sets))
+	}
+	c := &cache{sets: make([][]cacheLine, sets), mask: uint64(sets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, p.Ways)
+	}
+	return c
+}
+
+func (c *cache) set(line Addr) []cacheLine {
+	return c.sets[(uint64(line)/LineBytes)&c.mask]
+}
+
+// lookup returns the cached line or nil.
+func (c *cache) lookup(line Addr) *cacheLine {
+	for i := range c.set(line) {
+		l := &c.set(line)[i]
+		if l.state != invalid && l.tag == line {
+			c.tick++
+			l.lru = c.tick
+			return l
+		}
+	}
+	return nil
+}
+
+// install places line with the given state, returning the evicted victim
+// (state modified or shared) if one was displaced.
+func (c *cache) install(line Addr, st lineState) (victim Addr, victimState lineState) {
+	set := c.set(line)
+	c.tick++
+	// Reuse an existing entry for the same tag (upgrade) or an invalid way.
+	var lru *cacheLine
+	for i := range set {
+		l := &set[i]
+		if l.state != invalid && l.tag == line {
+			l.state = st
+			l.lru = c.tick
+			return 0, invalid
+		}
+		if l.state == invalid {
+			lru = l
+		}
+	}
+	if lru == nil {
+		lru = &set[0]
+		for i := range set {
+			if set[i].lru < lru.lru {
+				lru = &set[i]
+			}
+		}
+		victim, victimState = lru.tag, lru.state
+	}
+	lru.tag = line
+	lru.state = st
+	lru.lru = c.tick
+	return victim, victimState
+}
+
+// drop removes line if present and returns its previous state.
+func (c *cache) drop(line Addr) lineState {
+	for i := range c.set(line) {
+		l := &c.set(line)[i]
+		if l.state != invalid && l.tag == line {
+			st := l.state
+			l.state = invalid
+			return st
+		}
+	}
+	return invalid
+}
+
+// dirEntry is the full-map directory state for one line, kept at its home
+// memory module. Transactions on a line serialize through the busy flag.
+type dirEntry struct {
+	sharers map[int]struct{}
+	owner   int // proc holding the line modified, or -1
+	busy    bool
+	pending []func()
+}
+
+// System is the machine-wide shared-memory substrate.
+type System struct {
+	eng  *sim.Engine
+	mach *sim.Machine
+	net  *network.Network
+	col  *stats.Collector
+	p    Params
+
+	caches  []*cache
+	modules []*sim.Proc // memory-module serial servers (not CPU procs)
+	dirs    []map[Addr]*dirEntry
+	heaps   []uint64 // per-proc bump allocators
+
+	// inflight[p] tracks lines processor p is already fetching (MSHRs),
+	// so demand reads join pending prefetches instead of duplicating
+	// them. Allocated lazily per processor.
+	inflight []map[Addr]*sim.Future
+}
+
+// New creates the substrate for the given machine and network.
+func New(eng *sim.Engine, mach *sim.Machine, net *network.Network, col *stats.Collector, p Params) *System {
+	s := &System{
+		eng: eng, mach: mach, net: net, col: col, p: p,
+		caches:   make([]*cache, mach.N()),
+		modules:  make([]*sim.Proc, mach.N()),
+		dirs:     make([]map[Addr]*dirEntry, mach.N()),
+		heaps:    make([]uint64, mach.N()),
+		inflight: make([]map[Addr]*sim.Future, mach.N()),
+	}
+	for i := 0; i < mach.N(); i++ {
+		s.caches[i] = newCache(p)
+		s.modules[i] = sim.NewMachine(eng, 1).Proc(0)
+		s.dirs[i] = make(map[Addr]*dirEntry)
+		// Stagger heap bases so different homes' allocations spread over
+		// the cache index space, as real heap addresses do; identical
+		// bases would alias every node's data into the same few sets.
+		s.heaps[i] = (uint64(i) * 2654435761) % (1 << 20) &^ (LineBytes - 1)
+	}
+	return s
+}
+
+// Alloc reserves size bytes of shared memory homed on processor home and
+// returns the (line-aligned) base address.
+func (s *System) Alloc(home int, size uint64) Addr {
+	if home < 0 || home >= len(s.heaps) {
+		panic("mem: alloc home out of range")
+	}
+	// Align to line boundaries so distinct objects never share lines
+	// (avoids false sharing perturbing the experiments).
+	base := (s.heaps[home] + LineBytes - 1) &^ (LineBytes - 1)
+	s.heaps[home] = base + size
+	if s.heaps[home] >= 1<<homeShift {
+		panic("mem: heap exhausted")
+	}
+	return Addr(uint64(home)<<homeShift | base)
+}
+
+// Collector returns the stats sink.
+func (s *System) Collector() *stats.Collector { return s.col }
+
+// ModuleUtilization returns the busy fraction of processor p's memory
+// module (used to demonstrate the resource-contention results).
+func (s *System) ModuleUtilization(p int) float64 { return s.modules[p].Utilization() }
+
+func (s *System) dir(line Addr) *dirEntry {
+	home := HomeOf(line)
+	d := s.dirs[home][line]
+	if d == nil {
+		d = &dirEntry{sharers: make(map[int]struct{}), owner: -1}
+		s.dirs[home][line] = d
+	}
+	return d
+}
+
+// withLine serializes fn against other transactions on the same line.
+// fn receives a release callback it must invoke exactly once when the
+// transaction completes.
+func (s *System) withLine(line Addr, fn func(d *dirEntry, release func())) {
+	d := s.dir(line)
+	run := func() {
+		d.busy = true
+		fn(d, func() {
+			d.busy = false
+			if len(d.pending) > 0 {
+				next := d.pending[0]
+				copy(d.pending, d.pending[1:])
+				d.pending = d.pending[:len(d.pending)-1]
+				s.eng.Schedule(0, next)
+			}
+		})
+	}
+	if d.busy {
+		d.pending = append(d.pending, run)
+		return
+	}
+	run()
+}
+
+// send ships a protocol message, or schedules locally with no traffic if
+// src == dst (a processor talking to its own memory module). Each remote
+// delivery pays controller handling latency at the receiving end on top
+// of wire transit — hardware, but not free.
+func (s *System) send(src, dst int, dataWords uint64, arrive func()) {
+	s.col.ProtocolMsgs++
+	if src == dst {
+		s.eng.Schedule(1+s.p.CtrlCycles/4, arrive)
+		return
+	}
+	payload := make([]uint32, s.p.AddrWords+dataWords)
+	s.net.Send(&network.Message{Src: src, Dst: dst, Kind: "coherence", Payload: payload},
+		func(*network.Message) { s.eng.Schedule(s.p.CtrlCycles, arrive) })
+}
+
+// Read performs a shared-memory load of size bytes at addr by thread th
+// running on processor proc, blocking until every covered line is present.
+func (s *System) Read(th *sim.Thread, proc int, addr Addr, size uint64) {
+	s.access(th, proc, addr, size, false)
+}
+
+// Write performs a store: every covered line is fetched exclusive
+// (invalidating other copies) before the write completes.
+func (s *System) Write(th *sim.Thread, proc int, addr Addr, size uint64) {
+	s.access(th, proc, addr, size, true)
+}
+
+// RMW performs an atomic read-modify-write on the line containing addr
+// (e.g. a balancer toggle or a lock word): it is a Write of one word.
+func (s *System) RMW(th *sim.Thread, proc int, addr Addr) {
+	s.access(th, proc, addr, 4, true)
+}
+
+func (s *System) access(th *sim.Thread, proc int, addr Addr, size uint64, write bool) {
+	if size == 0 {
+		return
+	}
+	first := lineOf(addr)
+	last := lineOf(addr + Addr(size) - 1)
+	for line := first; ; line += LineBytes {
+		s.accessLine(th, proc, line, write)
+		if line == last {
+			break
+		}
+	}
+}
+
+func (s *System) accessLine(th *sim.Thread, proc int, line Addr, write bool) {
+	cpu := s.mach.Proc(proc)
+	th.Exec(cpu, s.p.HitCycles) // tag lookup always costs a hit time
+	c := s.caches[proc]
+	if l := c.lookup(line); l != nil {
+		if !write || l.state == modified {
+			s.col.CacheHits++
+			return
+		}
+	}
+	s.col.CacheMisses++
+	s.eng.Tracef("miss", "p%d line %#x write=%v", proc, uint64(line), write)
+	if !write && s.joinInflight(th, proc, line) {
+		// The line was already on its way (prefetch); it is installed by
+		// the fill helper once the wait returns.
+		if c.lookup(line) != nil {
+			th.Exec(cpu, s.p.InstallCyc)
+			return
+		}
+		// Evicted between fill and resume: fall through to a fresh fetch.
+	}
+	fut := &sim.Future{}
+	if write {
+		s.fetchExclusive(proc, line, fut)
+	} else {
+		s.fetchShared(proc, line, fut)
+	}
+	// The directory transaction stays open until the line is installed
+	// here; completing it earlier would let a queued request invalidate a
+	// copy that has not arrived yet (two-owners race).
+	release := fut.Wait(th).(func())
+	st := shared
+	if write {
+		st = modified
+	}
+	victim, vstate := c.install(line, st)
+	release()
+	if vstate == modified {
+		// Dirty eviction: fire-and-forget writeback to the victim's home.
+		s.writeback(proc, victim)
+	}
+	th.Exec(cpu, s.p.InstallCyc)
+}
+
+// dirWork runs a directory transaction's bookkeeping: in software on the
+// home CPU when the line's sharer set has overflowed the hardware
+// pointers (LimitLESS), on the memory module otherwise.
+func (s *System) dirWork(home int, d *dirEntry, cycles uint64, done func()) {
+	if s.softwareHandled(home, d, done) {
+		return
+	}
+	s.modules[home].ExecAsync(cycles, done)
+}
+
+// fetchShared obtains a read copy of line for proc and completes fut.
+func (s *System) fetchShared(proc int, line Addr, fut *sim.Future) {
+	home := HomeOf(line)
+	s.send(proc, home, 0, func() {
+		s.withLine(line, func(d *dirEntry, release func()) {
+			finish := func() {
+				d.sharers[proc] = struct{}{}
+				// Data reply home -> proc; the transaction is released by
+				// the requester once the line is installed.
+				s.send(home, proc, LineWords, func() {
+					fut.Complete(release)
+				})
+			}
+			if d.owner >= 0 && d.owner != proc {
+				owner := d.owner
+				// Recall the dirty copy: home -> owner, owner downgrades
+				// and returns data, home writes memory, then serves.
+				s.send(home, owner, 0, func() {
+					if s.caches[owner].drop(line) == modified {
+						s.caches[owner].install(line, shared)
+					}
+					s.send(owner, home, LineWords, func() {
+						d.owner = -1
+						d.sharers[owner] = struct{}{}
+						s.dirWork(home, d, s.p.DirCycles+s.p.MemCycles, finish)
+					})
+				})
+				return
+			}
+			d.owner = -1
+			s.dirWork(home, d, s.p.DirCycles+s.p.MemCycles, finish)
+		})
+	})
+}
+
+// fetchExclusive obtains an exclusive (writable) copy of line for proc,
+// invalidating all other cached copies, and completes fut.
+func (s *System) fetchExclusive(proc int, line Addr, fut *sim.Future) {
+	home := HomeOf(line)
+	s.send(proc, home, 0, func() {
+		s.withLine(line, func(d *dirEntry, release func()) {
+			grant := func(withData bool) {
+				for q := range d.sharers {
+					delete(d.sharers, q)
+				}
+				d.owner = proc
+				words := uint64(0)
+				if withData {
+					words = LineWords
+				}
+				s.send(home, proc, words, func() { fut.Complete(release) })
+			}
+			if d.owner >= 0 && d.owner != proc {
+				owner := d.owner
+				// Fetch-and-invalidate the dirty copy.
+				s.send(home, owner, 0, func() {
+					s.caches[owner].drop(line)
+					s.col.Invalidations++
+					s.send(owner, home, LineWords, func() {
+						s.dirWork(home, d, s.p.DirCycles, func() { grant(true) })
+					})
+				})
+				return
+			}
+			_, wasSharer := d.sharers[proc]
+			var others []int
+			for q := range d.sharers {
+				if q != proc {
+					others = append(others, q)
+				}
+			}
+			sort.Ints(others) // keep event order independent of map iteration
+			if len(others) == 0 {
+				s.dirWork(home, d, s.p.DirCycles+s.p.MemCycles, func() { grant(!wasSharer) })
+				return
+			}
+			// Invalidate every other sharer; collect acks.
+			acks := 0
+			for _, q := range others {
+				q := q
+				s.send(home, q, 0, func() {
+					s.caches[q].drop(line)
+					s.col.Invalidations++
+					s.send(q, home, 0, func() {
+						acks++
+						if acks == len(others) {
+							s.dirWork(home, d, s.p.DirCycles, func() { grant(!wasSharer) })
+						}
+					})
+				})
+			}
+		})
+	})
+}
+
+// writeback retires a dirty evicted line to its home (fire-and-forget).
+// By the time it is processed the directory may have moved on (a recall
+// raced ahead), so it degrades to a replacement hint in that case.
+func (s *System) writeback(proc int, line Addr) {
+	home := HomeOf(line)
+	s.send(proc, home, LineWords, func() {
+		s.withLine(line, func(d *dirEntry, release func()) {
+			if d.owner == proc {
+				d.owner = -1
+			}
+			delete(d.sharers, proc)
+			s.modules[home].ExecAsync(s.p.DirCycles+s.p.MemCycles, release)
+		})
+	})
+}
+
+// DirEntries returns how many lines homed on the given processor have
+// directory state (useful in tests and reports).
+func (s *System) DirEntries(home int) int { return len(s.dirs[home]) }

@@ -1,0 +1,150 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(8)
+	w.PutU32(0xdeadbeef)
+	w.PutU64(0x0123456789abcdef)
+	w.PutI64(-42)
+	w.PutBool(true)
+	w.PutBool(false)
+
+	r := NewReader(w.Words())
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("u32 = %x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Errorf("u64 = %x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("i64 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bools corrupted")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Errorf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestRoundTripVector(t *testing.T) {
+	w := NewWriter(8)
+	w.PutU32s([]uint32{1, 2, 3})
+	w.PutU32s(nil)
+	w.PutU32(7)
+	r := NewReader(w.Words())
+	v := r.U32s()
+	if len(v) != 3 || v[0] != 1 || v[2] != 3 {
+		t.Errorf("vector = %v", v)
+	}
+	if e := r.U32s(); len(e) != 0 {
+		t.Errorf("empty vector = %v", e)
+	}
+	if r.U32() != 7 {
+		t.Error("trailing word lost")
+	}
+}
+
+func TestShortPayloadSticky(t *testing.T) {
+	r := NewReader([]uint32{5})
+	_ = r.U64() // needs 2 words
+	if r.Err() != ErrShortPayload {
+		t.Fatalf("err = %v", r.Err())
+	}
+	if r.U32() != 0 {
+		t.Error("read after error should return zero")
+	}
+}
+
+func TestVectorLengthOverrun(t *testing.T) {
+	r := NewReader([]uint32{10, 1, 2}) // claims 10 elements, has 2
+	if v := r.U32s(); v != nil {
+		t.Errorf("overrun vector = %v", v)
+	}
+	if r.Err() == nil {
+		t.Error("overrun not detected")
+	}
+}
+
+type pair struct {
+	A uint64
+	B uint32
+}
+
+func (p *pair) MarshalWords(w *Writer) {
+	w.PutU64(p.A)
+	w.PutU32(p.B)
+}
+
+func (p *pair) UnmarshalWords(r *Reader) error {
+	p.A = r.U64()
+	p.B = r.U32()
+	return r.Err()
+}
+
+func TestEncodeDecode(t *testing.T) {
+	in := &pair{A: 1 << 40, B: 9}
+	words := Encode(in)
+	if len(words) != 3 {
+		t.Fatalf("encoded %d words, want 3", len(words))
+	}
+	var out pair
+	if err := Decode(words, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != *in {
+		t.Fatalf("round trip: %+v != %+v", out, *in)
+	}
+}
+
+func TestDecodeRejectsTrailingWords(t *testing.T) {
+	in := &pair{A: 1, B: 2}
+	words := append(Encode(in), 99)
+	var out pair
+	if err := Decode(words, &out); err == nil {
+		t.Fatal("trailing words not rejected")
+	}
+}
+
+func TestPropertyU64RoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		w := NewWriter(2)
+		w.PutU64(v)
+		return NewReader(w.Words()).U64() == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyVectorRoundTrip(t *testing.T) {
+	if err := quick.Check(func(vs []uint32) bool {
+		w := NewWriter(len(vs) + 1)
+		w.PutU32s(vs)
+		got := NewReader(w.Words()).U32s()
+		if len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyI64RoundTrip(t *testing.T) {
+	if err := quick.Check(func(v int64) bool {
+		w := NewWriter(2)
+		w.PutI64(v)
+		return NewReader(w.Words()).I64() == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package network models the interconnect of the simulated
+// distributed-memory machine: message transit latency and word-level
+// bandwidth accounting. Software overheads (stubs, marshaling, handler
+// dispatch) are charged by the runtime layers above; the network charges
+// only wire time and counts words, which is what the paper's
+// bandwidth figures (Figure 3, Tables 2 and 4) measure.
+package network
+
+import (
+	"fmt"
+
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// HeaderWords is the per-message header size in 32-bit words: source,
+// destination, kind/handler index, and payload length.
+const HeaderWords = 2
+
+// Topology computes the hop distance between two processors.
+type Topology interface {
+	Hops(src, dst int) uint64
+	Name() string
+}
+
+// Crossbar is a constant-latency interconnect: every remote pair is one
+// hop. This matches the paper's flat transit cost (17 cycles).
+type Crossbar struct{}
+
+// Hops returns 0 for local delivery and 1 otherwise.
+func (Crossbar) Hops(src, dst int) uint64 {
+	if src == dst {
+		return 0
+	}
+	return 1
+}
+
+// Name identifies the topology in reports.
+func (Crossbar) Name() string { return "crossbar" }
+
+// Mesh is a 2D mesh with dimension-ordered routing distance.
+type Mesh struct {
+	W, H int
+}
+
+// NewMesh returns a W×H mesh topology.
+func NewMesh(w, h int) Mesh {
+	if w <= 0 || h <= 0 {
+		panic("network: mesh dimensions must be positive")
+	}
+	return Mesh{W: w, H: h}
+}
+
+// Hops returns the Manhattan distance between the procs' mesh positions.
+func (m Mesh) Hops(src, dst int) uint64 {
+	sx, sy := src%m.W, src/m.W
+	dx, dy := dst%m.W, dst/m.W
+	abs := func(a int) int {
+		if a < 0 {
+			return -a
+		}
+		return a
+	}
+	return uint64(abs(sx-dx) + abs(sy-dy))
+}
+
+// Name identifies the topology in reports.
+func (m Mesh) Name() string { return fmt.Sprintf("mesh%dx%d", m.W, m.H) }
+
+// Message is one packet in flight.
+type Message struct {
+	Src, Dst int
+	Kind     string   // accounting label ("rpc", "migrate", "coherence", ...)
+	Payload  []uint32 // wire words (header charged separately)
+}
+
+// Words returns the total wire size of the message including header.
+func (m *Message) Words() uint64 { return HeaderWords + uint64(len(m.Payload)) }
+
+// Network delivers messages with a latency function and counts traffic.
+type Network struct {
+	eng  *sim.Engine
+	topo Topology
+	col  *stats.Collector
+
+	// TransitBase and TransitPerHop price wire latency in cycles.
+	TransitBase   uint64
+	TransitPerHop uint64
+
+	// PerWordWireCycles adds serialization delay per payload word (0 by
+	// default: the paper folds size effects into marshal/copy costs).
+	PerWordWireCycles uint64
+
+	// Delivered counts messages that have arrived.
+	Delivered uint64
+}
+
+// New returns a network over topology topo, reporting into col.
+func New(eng *sim.Engine, topo Topology, col *stats.Collector, transitBase, transitPerHop uint64) *Network {
+	return &Network{
+		eng: eng, topo: topo, col: col,
+		TransitBase: transitBase, TransitPerHop: transitPerHop,
+	}
+}
+
+// Collector returns the stats sink this network reports into.
+func (n *Network) Collector() *stats.Collector { return n.col }
+
+// Latency returns the wire latency for a message of size words from src
+// to dst.
+func (n *Network) Latency(src, dst int, words uint64) uint64 {
+	return n.TransitBase + n.TransitPerHop*n.topo.Hops(src, dst) + n.PerWordWireCycles*words
+}
+
+// Send injects m and invokes arrive at the destination after transit
+// latency. Word and message accounting happens at injection; transit
+// cycles are charged to the network-transit category.
+func (n *Network) Send(m *Message, arrive func(*Message)) {
+	words := m.Words()
+	n.col.CountMessage(m.Kind, words)
+	lat := n.Latency(m.Src, m.Dst, words)
+	n.col.AddCycles(stats.CatNetworkTransit, lat)
+	n.eng.Tracef("send", "%s p%d->p%d %dw", m.Kind, m.Src, m.Dst, words)
+	n.eng.Schedule(lat, func() {
+		n.Delivered++
+		n.eng.Tracef("deliver", "%s p%d->p%d", m.Kind, m.Src, m.Dst)
+		arrive(m)
+	})
+}

@@ -1,0 +1,148 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+func TestCrossbarHops(t *testing.T) {
+	var c Crossbar
+	if c.Hops(3, 3) != 0 {
+		t.Error("local hop count not zero")
+	}
+	if c.Hops(0, 5) != 1 || c.Hops(5, 0) != 1 {
+		t.Error("remote hop count not one")
+	}
+}
+
+func TestMeshHops(t *testing.T) {
+	m := NewMesh(4, 4)
+	cases := []struct {
+		a, b int
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 15, 6}, // (0,0) -> (3,3)
+		{15, 0, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMeshHopsSymmetric(t *testing.T) {
+	m := NewMesh(6, 4)
+	if err := quick.Check(func(a, b uint8) bool {
+		x, y := int(a)%24, int(b)%24
+		return m.Hops(x, y) == m.Hops(y, x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshTriangleInequality(t *testing.T) {
+	m := NewMesh(5, 5)
+	if err := quick.Check(func(a, b, c uint8) bool {
+		x, y, z := int(a)%25, int(b)%25, int(c)%25
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendLatencyAndAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	col := stats.NewCollector()
+	n := New(e, Crossbar{}, col, 17, 0)
+
+	var arrivedAt sim.Time
+	var got *Message
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "test", Payload: []uint32{1, 2, 3}},
+		func(m *Message) {
+			arrivedAt = e.Now()
+			got = m
+		})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivedAt != 17 {
+		t.Errorf("arrival at %d, want 17", arrivedAt)
+	}
+	if got == nil || len(got.Payload) != 3 {
+		t.Fatal("payload lost in transit")
+	}
+	if col.WordsSent != HeaderWords+3 {
+		t.Errorf("words = %d, want %d", col.WordsSent, HeaderWords+3)
+	}
+	if col.Messages["test"] != 1 {
+		t.Errorf("message count = %v", col.Messages)
+	}
+	if col.Cycles(stats.CatNetworkTransit) != 17 {
+		t.Errorf("transit cycles = %d", col.Cycles(stats.CatNetworkTransit))
+	}
+}
+
+func TestMeshLatencyScalesWithDistance(t *testing.T) {
+	e := sim.NewEngine(1)
+	col := stats.NewCollector()
+	n := New(e, NewMesh(4, 4), col, 10, 2)
+
+	var near, far sim.Time
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "a"}, func(*Message) { near = e.Now() })
+	n.Send(&Message{Src: 0, Dst: 15, Kind: "a"}, func(*Message) { far = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if near != 12 { // 10 + 2*1
+		t.Errorf("near latency = %d, want 12", near)
+	}
+	if far != 22 { // 10 + 2*6
+		t.Errorf("far latency = %d, want 22", far)
+	}
+}
+
+func TestMessagesDeliverInOrderPerLatency(t *testing.T) {
+	e := sim.NewEngine(1)
+	col := stats.NewCollector()
+	n := New(e, Crossbar{}, col, 5, 0)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		n.Send(&Message{Src: 0, Dst: 1, Kind: "k"}, func(*Message) { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-latency messages reordered: %v", order)
+		}
+	}
+	if n.Delivered != 4 {
+		t.Errorf("delivered = %d", n.Delivered)
+	}
+}
+
+func TestPerWordWireCycles(t *testing.T) {
+	e := sim.NewEngine(1)
+	col := stats.NewCollector()
+	n := New(e, Crossbar{}, col, 10, 0)
+	n.PerWordWireCycles = 1
+	var at sim.Time
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "k", Payload: make([]uint32, 8)},
+		func(*Message) { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 10+HeaderWords+8 {
+		t.Errorf("arrival = %d, want %d", at, 10+HeaderWords+8)
+	}
+}

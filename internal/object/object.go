@@ -1,0 +1,102 @@
+// Package object implements the distributed object space of the
+// Prelude-like runtime: every object has a global identifier, a home
+// processor, and private state that only code executing on the home
+// processor may touch (instance methods "always execute at the object on
+// which they are invoked", §3.1).
+package object
+
+import (
+	"fmt"
+
+	"compmig/internal/gid"
+)
+
+// Space is the machine-wide object table. The simulator runs one
+// goroutine at a time, so the table needs no locking; in a real system
+// this would be a per-processor structure plus a name service.
+type Space struct {
+	alloc  gid.Allocator
+	states map[gid.GID]any
+	nprocs int
+
+	// moved maps objects that have migrated away from their birth
+	// processor (Emerald-style object mobility) to their current home.
+	moved map[gid.GID]int
+	// Moves counts object relocations.
+	Moves uint64
+}
+
+// NewSpace creates an object space for a machine with nprocs processors.
+func NewSpace(nprocs int) *Space {
+	if nprocs <= 0 {
+		panic("object: need at least one processor")
+	}
+	return &Space{states: make(map[gid.GID]any), moved: make(map[gid.GID]int), nprocs: nprocs}
+}
+
+// New places an object with the given state on processor home and
+// returns its GID.
+func (s *Space) New(home int, state any) gid.GID {
+	if home < 0 || home >= s.nprocs {
+		panic(fmt.Sprintf("object: home %d out of range [0,%d)", home, s.nprocs))
+	}
+	g := s.alloc.Next(home)
+	s.states[g] = state
+	return g
+}
+
+// State returns the object's private state. Callers in the runtime must
+// already be executing on the object's home processor; the runtime
+// enforces that invariant.
+func (s *Space) State(g gid.GID) any {
+	st, ok := s.states[g]
+	if !ok {
+		panic(fmt.Sprintf("object: unknown gid %#x", uint64(g)))
+	}
+	return st
+}
+
+// Exists reports whether g names a live object.
+func (s *Space) Exists(g gid.GID) bool {
+	_, ok := s.states[g]
+	return ok
+}
+
+// Home returns the object's current home processor — its birth
+// processor unless it has migrated since.
+func (s *Space) Home(g gid.GID) int {
+	if h, ok := s.moved[g]; ok {
+		return h
+	}
+	return g.Home()
+}
+
+// Move relocates an object to a new home (the Emerald-style mobility
+// the paper wanted to compare against). The GID is unchanged: senders
+// holding stale locations are corrected by forwarding.
+func (s *Space) Move(g gid.GID, newHome int) {
+	if !s.Exists(g) {
+		panic(fmt.Sprintf("object: moving unknown gid %#x", uint64(g)))
+	}
+	if newHome < 0 || newHome >= s.nprocs {
+		panic(fmt.Sprintf("object: move to processor %d out of range", newHome))
+	}
+	if newHome == g.Home() {
+		delete(s.moved, g)
+	} else {
+		s.moved[g] = newHome
+	}
+	s.Moves++
+}
+
+// HasMoved reports whether g lives away from its birth processor.
+func (s *Space) HasMoved(g gid.GID) bool {
+	_, ok := s.moved[g]
+	return ok
+}
+
+// Len returns the number of live objects.
+func (s *Space) Len() int { return len(s.states) }
+
+// Procs returns the machine size the space was created for.
+func (s *Space) Procs() int { return s.nprocs }

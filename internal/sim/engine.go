@@ -1,0 +1,204 @@
+// Package sim implements a deterministic discrete-event simulator with
+// coroutine-style simulated threads, in the spirit of the Proteus
+// parallel-architecture simulator used by the paper.
+//
+// The engine owns a virtual clock measured in processor cycles. Simulated
+// threads are real goroutines, but exactly one of them runs at any moment:
+// the engine hands control to a thread over a channel and blocks until the
+// thread parks itself again. All simulation state is therefore mutated by
+// at most one goroutine at a time, and the event heap is ordered by
+// (time, sequence number), so a given program and seed always produce the
+// same execution.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point on the simulated clock, in cycles.
+type Time = uint64
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func()
+
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Engine is the simulation core: a clock, an event heap, and the set of
+// live simulated threads.
+type Engine struct {
+	now  Time
+	seq  uint64
+	heap eventHeap
+
+	current *Thread
+	handoff chan struct{} // a running thread signals here when it parks or exits
+
+	liveThreads int
+	allThreads  map[*Thread]struct{}
+	nextTID     int
+
+	rng     *PRNG
+	stopped bool
+	tracer  *Tracer
+
+	// MaxEvents bounds the number of events processed by Run as a runaway
+	// guard; zero means no bound.
+	MaxEvents uint64
+	processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose PRNG is
+// seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		handoff:    make(chan struct{}),
+		allThreads: make(map[*Thread]struct{}),
+		rng:        NewPRNG(seed),
+	}
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG.
+func (e *Engine) Rand() *PRNG { return e.rng }
+
+// Live returns the number of simulated threads that have been spawned and
+// have not yet exited.
+func (e *Engine) Live() int { return e.liveThreads }
+
+// Schedule queues fn to run when the clock reaches e.Now()+delay. It
+// returns the event so the caller may cancel it.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn at absolute time at, which must not be in the past.
+func (e *Engine) At(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// DeadlockError reports that events ran dry while threads were still parked.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d: %d thread(s) blocked forever: %s",
+		d.Now, len(d.Blocked), strings.Join(d.Blocked, ", "))
+}
+
+// Run processes events until the heap is empty or Stop is called. It
+// returns a *DeadlockError if the heap drains while simulated threads are
+// still parked (they can never be woken again), and nil otherwise.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event heap time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		e.processed++
+		if e.MaxEvents != 0 && e.processed >= e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d", e.MaxEvents, e.now)
+		}
+	}
+	if !e.stopped && e.liveThreads > 0 {
+		var blocked []string
+		for th := range e.allThreads {
+			blocked = append(blocked, th.String())
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps <= limit, then returns. Events
+// beyond the limit stay queued; the clock is advanced to limit.
+func (e *Engine) RunUntil(limit Time) error {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped && e.heap[0].at <= limit {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		e.processed++
+		if e.MaxEvents != 0 && e.processed >= e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d", e.MaxEvents, e.now)
+		}
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return nil
+}
+
+// resume hands control to th and blocks until it parks or exits.
+func (e *Engine) resume(th *Thread) {
+	prev := e.current
+	e.current = th
+	th.resume <- struct{}{}
+	<-e.handoff
+	e.current = prev
+}
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,434 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() { times = append(times, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("nested schedule times = %v, want [10 15]", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(25); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock after RunUntil = %d, want 25", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("Run after RunUntil fired %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i+1), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("processed %d events after Stop at 3", count)
+	}
+}
+
+func TestMaxEvents(t *testing.T) {
+	e := NewEngine(1)
+	e.MaxEvents = 5
+	var reschedule func()
+	reschedule = func() { e.Schedule(1, reschedule) }
+	e.Schedule(1, reschedule)
+	if err := e.Run(); err == nil {
+		t.Fatal("runaway loop not caught by MaxEvents")
+	}
+}
+
+func TestThreadSleepAndClock(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	e.Spawn("t", 0, func(th *Thread) {
+		th.Sleep(100)
+		wake = th.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 100 {
+		t.Fatalf("thread woke at %d, want 100", wake)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("live threads = %d after Run", e.Live())
+	}
+}
+
+func TestThreadsInterleaveDeterministically(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(42)
+		var order []int
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Spawn("t", 0, func(th *Thread) {
+				for j := 0; j < 3; j++ {
+					th.Sleep(Time(1 + e.Rand().Intn(5)))
+					order = append(order, i)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 15 || len(b) != 15 {
+		t.Fatalf("wrong lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic interleaving at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("stuck", 0, func(th *Thread) {
+		th.Park("nowhere")
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Blocked) != 1 {
+		t.Fatalf("blocked list = %v", de.Blocked)
+	}
+}
+
+func TestUnparkRoundTrip(t *testing.T) {
+	e := NewEngine(1)
+	var sleeper *Thread
+	hits := 0
+	sleeper = e.Spawn("sleeper", 0, func(th *Thread) {
+		th.Park("wait-for-poke")
+		hits++
+	})
+	e.Spawn("poker", 0, func(th *Thread) {
+		th.Sleep(50)
+		sleeper.Unpark()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatal("sleeper never resumed")
+	}
+}
+
+func TestProcSerializesSegments(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMachine(e, 2)
+	p := m.Proc(0)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", 0, func(th *Thread) {
+			th.Exec(p, 100)
+			ends = append(ends, th.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 3 {
+		t.Fatalf("got %d completions", len(ends))
+	}
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("serialized ends = %v, want %v", ends, want)
+		}
+	}
+	if p.Busy != 300 {
+		t.Fatalf("busy = %d, want 300", p.Busy)
+	}
+}
+
+func TestProcsRunInParallel(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMachine(e, 2)
+	var ends []Time
+	for i := 0; i < 2; i++ {
+		p := m.Proc(i)
+		e.Spawn("w", 0, func(th *Thread) {
+			th.Exec(p, 100)
+			ends = append(ends, th.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, end := range ends {
+		if end != 100 {
+			t.Fatalf("parallel procs: ends = %v, want both 100", ends)
+		}
+	}
+}
+
+func TestExecAsync(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMachine(e, 1)
+	var done Time
+	m.Proc(0).ExecAsync(77, func() { done = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 77 {
+		t.Fatalf("async segment finished at %d, want 77", done)
+	}
+}
+
+func TestProcUtilization(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMachine(e, 1)
+	e.Spawn("w", 0, func(th *Thread) {
+		th.Exec(m.Proc(0), 50)
+		th.Sleep(50)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := m.Proc(0).Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := NewPRNG(7), NewPRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed PRNGs diverged")
+		}
+	}
+	c := NewPRNG(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewPRNG(7).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatal("different seeds produce suspiciously similar streams")
+	}
+}
+
+func TestPRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		p := NewPRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := p.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		p := NewPRNG(seed)
+		perm := p.Perm(32)
+		seen := make([]bool, 32)
+		for _, v := range perm {
+			if v < 0 || v >= 32 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRNGFloat64Range(t *testing.T) {
+	p := NewPRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestDeadlockErrorMessage(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("lost", 0, func(th *Thread) { th.Park("the-void") })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "the-void") {
+		t.Fatalf("deadlock error %v does not name the block site", err)
+	}
+}
+
+func TestUnparkAtDelays(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	th := e.Spawn("sleeper", 0, func(th *Thread) {
+		th.Park("wait")
+		woke = th.Now()
+	})
+	e.Schedule(10, func() { th.UnparkAt(90) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 100 {
+		t.Fatalf("woke at %d, want 100", woke)
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMachine(e, 3)
+	if m.N() != 3 || len(m.Procs()) != 3 {
+		t.Fatalf("N=%d procs=%d", m.N(), len(m.Procs()))
+	}
+	if m.Proc(2).ID() != 2 {
+		t.Errorf("proc id = %d", m.Proc(2).ID())
+	}
+	if m.Proc(1).FreeAt() != 0 {
+		t.Errorf("fresh proc free at %d", m.Proc(1).FreeAt())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range proc accepted")
+		}
+	}()
+	m.Proc(9)
+}
+
+func TestPRNGUint64nAndFork(t *testing.T) {
+	p := NewPRNG(5)
+	for i := 0; i < 100; i++ {
+		if v := p.Uint64n(17); v >= 17 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+	}
+	child := p.Fork()
+	if child.Uint64() == p.Uint64() {
+		// Not impossible, but with independent streams a collision on
+		// the first draw is a red flag for aliased state.
+		t.Error("forked PRNG mirrors its parent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) accepted")
+		}
+	}()
+	p.Uint64n(0)
+}
+
+func TestIntnNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) accepted")
+		}
+	}()
+	NewPRNG(1).Intn(0)
+}

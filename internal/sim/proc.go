@@ -1,0 +1,102 @@
+package sim
+
+import "fmt"
+
+// Proc models one processor of the simulated distributed-memory machine.
+// Work segments issued against a Proc serialize in issue order: a segment
+// issued while the processor is busy starts when the processor frees up.
+// This is what produces the paper's resource-contention effects (e.g. the
+// B-tree root bottleneck, where activations arrive at the root's processor
+// faster than it can retire them).
+type Proc struct {
+	eng  *Engine
+	id   int
+	free Time // the cycle at which the processor next becomes idle
+
+	// Busy accumulates total busy cycles for utilization reporting.
+	Busy Time
+	// Segments counts work segments executed.
+	Segments uint64
+}
+
+// Machine is a fixed set of processors.
+type Machine struct {
+	eng   *Engine
+	procs []*Proc
+}
+
+// NewMachine creates n processors attached to e.
+func NewMachine(e *Engine, n int) *Machine {
+	if n <= 0 {
+		panic("sim: machine needs at least one processor")
+	}
+	m := &Machine{eng: e, procs: make([]*Proc, n)}
+	for i := range m.procs {
+		m.procs[i] = &Proc{eng: e, id: i}
+	}
+	return m
+}
+
+// N returns the number of processors.
+func (m *Machine) N() int { return len(m.procs) }
+
+// Proc returns processor i.
+func (m *Machine) Proc(i int) *Proc {
+	if i < 0 || i >= len(m.procs) {
+		panic(fmt.Sprintf("sim: proc %d out of range [0,%d)", i, len(m.procs)))
+	}
+	return m.procs[i]
+}
+
+// Procs returns the processor slice (callers must not mutate it).
+func (m *Machine) Procs() []*Proc { return m.procs }
+
+// ID returns the processor number.
+func (p *Proc) ID() int { return p.id }
+
+// FreeAt returns the cycle at which the processor next becomes idle.
+func (p *Proc) FreeAt() Time { return p.free }
+
+// Utilization returns busy cycles divided by elapsed cycles, in [0,1].
+func (p *Proc) Utilization() float64 {
+	if p.eng.now == 0 {
+		return 0
+	}
+	return float64(p.Busy) / float64(p.eng.now)
+}
+
+// reserve books cycles of exclusive processor time and returns the cycle
+// at which the segment completes.
+func (p *Proc) reserve(cycles Time) Time {
+	start := p.free
+	if start < p.eng.now {
+		start = p.eng.now
+	}
+	end := start + cycles
+	p.free = end
+	p.Busy += cycles
+	p.Segments++
+	return end
+}
+
+// Exec runs cycles of work for thread th on processor p, blocking the
+// thread until the work completes (including any queueing delay while the
+// processor drains earlier segments).
+func (th *Thread) Exec(p *Proc, cycles Time) {
+	if cycles == 0 {
+		return
+	}
+	end := p.reserve(cycles)
+	th.eng.At(end, func() { th.eng.resume(th) })
+	th.park(fmt.Sprintf("exec(p%d)", p.id))
+}
+
+// ExecAsync books cycles of work on p without a thread attached (e.g. a
+// hardware handler or an interrupt-level message dispatch) and invokes fn
+// when the work completes. fn may be nil.
+func (p *Proc) ExecAsync(cycles Time, fn func()) {
+	end := p.reserve(cycles)
+	if fn != nil {
+		p.eng.At(end, fn)
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+// Mutex is a FIFO mutual-exclusion lock for simulated threads. Lock and
+// Unlock take zero simulated time themselves; callers charge processor
+// cycles separately through the cost model.
+type Mutex struct {
+	owner   *Thread
+	waiters []*Thread
+	// Contended counts Lock calls that had to wait.
+	Contended uint64
+	// Acquired counts successful acquisitions.
+	Acquired uint64
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+func (m *Mutex) TryLock(th *Thread) bool {
+	if m.owner == nil {
+		m.owner = th
+		m.Acquired++
+		return true
+	}
+	return false
+}
+
+// Lock blocks th until it holds the mutex. Waiters are served FIFO.
+func (m *Mutex) Lock(th *Thread) {
+	if m.owner == th {
+		panic("sim: recursive Mutex.Lock")
+	}
+	if m.owner == nil {
+		m.owner = th
+		m.Acquired++
+		return
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, th)
+	th.park("mutex")
+	// The unlocker set us as owner before waking us.
+	if m.owner != th {
+		panic("sim: woke from Mutex.Lock without ownership")
+	}
+	m.Acquired++
+}
+
+// Unlock releases the mutex and wakes the longest-waiting thread, if any.
+func (m *Mutex) Unlock(th *Thread) {
+	if m.owner != th {
+		panic("sim: Mutex.Unlock by non-owner")
+	}
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.owner = next
+	next.Unpark()
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// WaitQueue is a simple condition-style queue: threads Wait on it and are
+// released in FIFO order by Signal/Broadcast.
+type WaitQueue struct {
+	waiters []*Thread
+}
+
+// Wait parks th on the queue. The where label appears in deadlock reports.
+func (q *WaitQueue) Wait(th *Thread, where string) {
+	q.waiters = append(q.waiters, th)
+	th.park(where)
+}
+
+// Signal wakes the longest-waiting thread and reports whether one existed.
+func (q *WaitQueue) Signal() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	next := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	next.Unpark()
+	return true
+}
+
+// Broadcast wakes every waiting thread.
+func (q *WaitQueue) Broadcast() int {
+	n := len(q.waiters)
+	for _, th := range q.waiters {
+		th.Unpark()
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}
+
+// Len returns the number of parked waiters.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Future is a single-assignment result slot used to model call/reply
+// rendezvous (an RPC reply, or a short-circuited migration return).
+type Future struct {
+	done bool
+	val  any
+	q    WaitQueue
+}
+
+// Complete stores val and wakes all waiters. Completing twice panics:
+// a reply must arrive exactly once.
+func (f *Future) Complete(val any) {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	f.val = val
+	f.q.Broadcast()
+}
+
+// Done reports whether the future has been completed.
+func (f *Future) Done() bool { return f.done }
+
+// Wait blocks th until the future completes and returns the value.
+func (f *Future) Wait(th *Thread) any {
+	if !f.done {
+		f.q.Wait(th, "future")
+	}
+	if !f.done {
+		panic("sim: woke from Future.Wait before completion")
+	}
+	return f.val
+}
+
+// Barrier releases all arriving threads once count of them have arrived.
+type Barrier struct {
+	need    int
+	arrived int
+	q       WaitQueue
+}
+
+// NewBarrier returns a barrier for count threads.
+func NewBarrier(count int) *Barrier {
+	if count <= 0 {
+		panic("sim: barrier count must be positive")
+	}
+	return &Barrier{need: count}
+}
+
+// Arrive blocks th until count threads have arrived, then releases the
+// whole generation and resets the barrier for reuse.
+func (b *Barrier) Arrive(th *Thread) {
+	b.arrived++
+	if b.arrived == b.need {
+		b.arrived = 0
+		b.q.Broadcast()
+		return
+	}
+	b.q.Wait(th, "barrier")
+}
+
+// Semaphore is a counting semaphore with FIFO waiters.
+type Semaphore struct {
+	count int
+	q     WaitQueue
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{count: n}
+}
+
+// Acquire blocks th until a unit is available.
+func (s *Semaphore) Acquire(th *Thread) {
+	for s.count == 0 {
+		s.q.Wait(th, "semaphore")
+	}
+	s.count--
+}
+
+// Release returns a unit and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.count++
+	s.q.Signal()
+}

@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// Thread is a simulated lightweight thread (in the sense of a threads
+// package, per the paper's footnote 1 — heavier than TAM threads). Each
+// Thread is backed by a goroutine, but the engine guarantees only one runs
+// at a time, so thread bodies may freely touch shared simulation state.
+type Thread struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	state  threadState
+	where  string // description of the blocking site, for deadlock reports
+}
+
+type threadState int
+
+const (
+	threadRunnable threadState = iota
+	threadRunning
+	threadParked
+	threadDone
+)
+
+// Spawn creates a simulated thread that begins executing body at time
+// e.Now()+delay. The body runs under engine control; it must only interact
+// with the simulation through the Thread it receives.
+func (e *Engine) Spawn(name string, delay Time, body func(*Thread)) *Thread {
+	e.nextTID++
+	th := &Thread{
+		eng:    e,
+		id:     e.nextTID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.liveThreads++
+	e.allThreads[th] = struct{}{}
+	go func() {
+		<-th.resume // wait for first dispatch
+		th.state = threadRunning
+		body(th)
+		th.state = threadDone
+		e.liveThreads--
+		delete(e.allThreads, th)
+		e.handoff <- struct{}{}
+	}()
+	e.Schedule(delay, func() { e.resume(th) })
+	return th
+}
+
+// Engine returns the engine this thread belongs to.
+func (th *Thread) Engine() *Engine { return th.eng }
+
+// ID returns the thread's unique id (1-based, in spawn order).
+func (th *Thread) ID() int { return th.id }
+
+// Name returns the name given at spawn.
+func (th *Thread) Name() string { return th.name }
+
+// Now returns the current simulated time.
+func (th *Thread) Now() Time { return th.eng.now }
+
+func (th *Thread) String() string {
+	return fmt.Sprintf("%s#%d@%s", th.name, th.id, th.where)
+}
+
+// park yields control back to the engine and blocks until some event
+// resumes this thread. The caller must have arranged for a wakeup.
+func (th *Thread) park(where string) {
+	if th.eng.current != th {
+		panic("sim: park called from a thread that is not running")
+	}
+	th.state = threadParked
+	th.where = where
+	th.eng.handoff <- struct{}{}
+	<-th.resume
+	th.state = threadRunning
+	th.where = ""
+}
+
+// Park blocks the thread indefinitely; it runs again only when another
+// party calls Unpark. The where string labels the block site in deadlock
+// reports.
+func (th *Thread) Park(where string) { th.park(where) }
+
+// Unpark schedules th to resume at the current time. It must only be
+// called for a thread that is parked (or about to park within the current
+// event); the engine's single-runner discipline makes this race-free.
+func (th *Thread) Unpark() {
+	th.eng.Schedule(0, func() { th.eng.resume(th) })
+}
+
+// UnparkAt schedules th to resume after delay cycles.
+func (th *Thread) UnparkAt(delay Time) {
+	th.eng.Schedule(delay, func() { th.eng.resume(th) })
+}
+
+// Sleep advances the thread's virtual time by d cycles without occupying
+// any processor (used for "think time" in the paper's workloads).
+func (th *Thread) Sleep(d Time) {
+	if d == 0 {
+		return
+	}
+	th.eng.Schedule(d, func() { th.eng.resume(th) })
+	th.park("sleep")
+}
+
+// Yield reschedules the thread at the current time behind already-queued
+// events.
+func (th *Thread) Yield() {
+	th.eng.Schedule(0, func() { th.eng.resume(th) })
+	th.park("yield")
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates values into power-of-two buckets — enough
+// resolution for latency distributions without unbounded memory. The
+// zero value is ready to use.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max return the observed extremes.
+func (h *Histogram) Min() uint64 { return h.min }
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// top of the bucket containing it. Bucket widths are powers of two, so
+// the answer is within 2x of exact — adequate for tail reporting.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for b, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if b == 0 {
+				return 0
+			}
+			top := uint64(1)<<b - 1
+			if top > h.max {
+				top = h.max
+			}
+			return top
+		}
+	}
+	return h.max
+}
+
+// String renders a compact summary line.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "no observations"
+	}
+	return fmt.Sprintf("n=%d mean=%.0f min=%d p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.min, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+// Bars renders an ASCII distribution over the occupied buckets.
+func (h *Histogram) Bars(width int) string {
+	if h.count == 0 {
+		return "no observations\n"
+	}
+	lo, hi := -1, 0
+	var peak uint64
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = b
+		}
+		hi = b
+		if n > peak {
+			peak = n
+		}
+	}
+	var sb strings.Builder
+	for b := lo; b <= hi; b++ {
+		n := h.buckets[b]
+		bar := int(float64(width) * float64(n) / float64(peak))
+		low := uint64(0)
+		if b > 0 {
+			low = 1 << (b - 1)
+		}
+		fmt.Fprintf(&sb, "%10d..%-10d %8d %s\n", low, uint64(1)<<b-1, n, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

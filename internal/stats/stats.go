@@ -1,0 +1,283 @@
+// Package stats collects the measurements the paper reports: message and
+// word counts (bandwidth), operation throughput, and per-category cycle
+// breakdowns (Table 5). All counters are plain — the simulator runs one
+// goroutine at a time, so no synchronization is needed.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels a cycle-cost bucket. The set mirrors Table 5 of the
+// paper, split into sender-side, transit, and receiver-side costs, plus
+// user code.
+type Category int
+
+const (
+	CatUserCode Category = iota
+	CatNetworkTransit
+	// Receiver-side.
+	CatCopyPacket
+	CatThreadCreation
+	CatRecvLinkage
+	CatUnmarshal
+	CatGIDTranslation
+	CatScheduler
+	CatForwardingCheck
+	CatRecvAllocPacket
+	// Sender-side.
+	CatSendLinkage
+	CatSendAllocPacket
+	CatMessageSend
+	CatMarshal
+	// Shared-memory substrate (not in Table 5; separate accounting).
+	CatCacheAccess
+	CatCoherence
+	// Synchronization (lock spin/queue handling).
+	CatSync
+
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	CatUserCode:        "User code",
+	CatNetworkTransit:  "Network transit",
+	CatCopyPacket:      "Copy packet",
+	CatThreadCreation:  "Thread creation",
+	CatRecvLinkage:     "Procedure linkage (recv)",
+	CatUnmarshal:       "Unmarshaling",
+	CatGIDTranslation:  "Object ID translation",
+	CatScheduler:       "Scheduler",
+	CatForwardingCheck: "Forwarding check",
+	CatRecvAllocPacket: "Allocate packet (recv)",
+	CatSendLinkage:     "Procedure linkage (send)",
+	CatSendAllocPacket: "Allocate packet (send)",
+	CatMessageSend:     "Message send",
+	CatMarshal:         "Marshaling",
+	CatCacheAccess:     "Cache access",
+	CatCoherence:       "Coherence protocol",
+	CatSync:            "Synchronization",
+}
+
+// String returns the human-readable category name used in Table 5.
+func (c Category) String() string {
+	if c < 0 || c >= numCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// ReceiverCategories lists the buckets Table 5 groups under "Receiver
+// total", in the paper's order.
+func ReceiverCategories() []Category {
+	return []Category{
+		CatCopyPacket, CatThreadCreation, CatRecvLinkage, CatUnmarshal,
+		CatGIDTranslation, CatScheduler, CatForwardingCheck, CatRecvAllocPacket,
+	}
+}
+
+// SenderCategories lists the buckets Table 5 groups under "Sender total".
+func SenderCategories() []Category {
+	return []Category{CatSendLinkage, CatSendAllocPacket, CatMessageSend, CatMarshal}
+}
+
+// Collector accumulates every measurement for one simulation run.
+type Collector struct {
+	cycles [numCategories]uint64
+
+	// Messages counts runtime-level messages by kind.
+	Messages map[string]uint64
+	// WordsSent counts total 32-bit words put on the network.
+	WordsSent uint64
+	// Ops counts completed high-level operations (counting-network
+	// requests, B-tree ops).
+	Ops uint64
+	// OpLatency accumulates total op latency in cycles, for mean latency.
+	OpLatency uint64
+	// Latency is the full operation-latency distribution.
+	Latency Histogram
+
+	// Window support for throughput/bandwidth over a measurement interval:
+	// callers snapshot at interval start and subtract.
+	startCycle uint64
+	startWords uint64
+	startOps   uint64
+
+	// Cache statistics for the shared-memory substrate.
+	CacheHits       uint64
+	CacheMisses     uint64
+	Invalidations   uint64
+	ProtocolMsgs    uint64
+	LimitlessTraps  uint64
+	Prefetches      uint64
+	PrefetchJoins   uint64
+	ReplicaReads    uint64
+	ReplicaWrites   uint64
+	MigrationsSent  uint64
+	MigrationsLocal uint64
+	Forwards        uint64
+	RPCCalls        uint64
+	ShortCalls      uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{Messages: make(map[string]uint64)}
+}
+
+// AddCycles charges n cycles to category c.
+func (s *Collector) AddCycles(c Category, n uint64) { s.cycles[c] += n }
+
+// Cycles returns the cycles charged to category c.
+func (s *Collector) Cycles(c Category) uint64 { return s.cycles[c] }
+
+// TotalCycles sums all categories.
+func (s *Collector) TotalCycles() uint64 {
+	var t uint64
+	for _, v := range s.cycles {
+		t += v
+	}
+	return t
+}
+
+// SumCycles sums the given categories.
+func (s *Collector) SumCycles(cats []Category) uint64 {
+	var t uint64
+	for _, c := range cats {
+		t += s.cycles[c]
+	}
+	return t
+}
+
+// CountMessage records one message of the given kind carrying words
+// 32-bit words (header included).
+func (s *Collector) CountMessage(kind string, words uint64) {
+	s.Messages[kind]++
+	s.WordsSent += words
+}
+
+// TotalMessages sums message counts across kinds.
+func (s *Collector) TotalMessages() uint64 {
+	var t uint64
+	for _, v := range s.Messages {
+		t += v
+	}
+	return t
+}
+
+// CountOp records one completed high-level operation and its latency.
+func (s *Collector) CountOp(latency uint64) {
+	s.Ops++
+	s.OpLatency += latency
+	s.Latency.Observe(latency)
+}
+
+// MeanOpLatency returns average operation latency in cycles.
+func (s *Collector) MeanOpLatency() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.OpLatency) / float64(s.Ops)
+}
+
+// MarkWindow begins a measurement window at the given cycle; Throughput
+// and Bandwidth report rates within the window. Use it to exclude warmup.
+func (s *Collector) MarkWindow(nowCycle uint64) {
+	s.startCycle = nowCycle
+	s.startWords = s.WordsSent
+	s.startOps = s.Ops
+}
+
+// Throughput returns operations per 1000 cycles within the window ending
+// at nowCycle (the paper's Figure 2 / Tables 1 and 3 metric).
+func (s *Collector) Throughput(nowCycle uint64) float64 {
+	dt := nowCycle - s.startCycle
+	if dt == 0 {
+		return 0
+	}
+	return float64(s.Ops-s.startOps) * 1000 / float64(dt)
+}
+
+// Bandwidth returns words sent per 10 cycles within the window ending at
+// nowCycle (the paper's Figure 3 / Tables 2 and 4 metric).
+func (s *Collector) Bandwidth(nowCycle uint64) float64 {
+	dt := nowCycle - s.startCycle
+	if dt == 0 {
+		return 0
+	}
+	return float64(s.WordsSent-s.startWords) * 10 / float64(dt)
+}
+
+// HitRate returns the cache hit fraction in [0,1].
+func (s *Collector) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// BreakdownRow is one line of a Table 5-style report.
+type BreakdownRow struct {
+	Label   string
+	Cycles  float64
+	Percent float64
+	Indent  int
+}
+
+// Breakdown renders per-migration average costs in the layout of Table 5.
+// divisor is the number of migrations to average over.
+func (s *Collector) Breakdown(divisor uint64) []BreakdownRow {
+	if divisor == 0 {
+		divisor = 1
+	}
+	d := float64(divisor)
+	total := float64(s.TotalCycles()) / d
+	row := func(label string, cyc float64, indent int) BreakdownRow {
+		pct := 0.0
+		if total > 0 {
+			pct = cyc / total * 100
+		}
+		return BreakdownRow{Label: label, Cycles: cyc, Percent: pct, Indent: indent}
+	}
+	recv := float64(s.SumCycles(ReceiverCategories())) / d
+	send := float64(s.SumCycles(SenderCategories())) / d
+	rows := []BreakdownRow{
+		row("Total time", total, 0),
+		row("User code", float64(s.cycles[CatUserCode])/d, 0),
+		row("Network transit", float64(s.cycles[CatNetworkTransit])/d, 0),
+		row("Message overhead total", recv+send, 0),
+		row("Receiver total", recv, 1),
+	}
+	for _, c := range ReceiverCategories() {
+		rows = append(rows, row(c.String(), float64(s.cycles[c])/d, 2))
+	}
+	rows = append(rows, row("Sender total", send, 1))
+	for _, c := range SenderCategories() {
+		rows = append(rows, row(c.String(), float64(s.cycles[c])/d, 2))
+	}
+	return rows
+}
+
+// FormatBreakdown renders Breakdown as an aligned text table.
+func (s *Collector) FormatBreakdown(divisor uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %8s %8s\n", "Category", "Cycles", "Percent")
+	for _, r := range s.Breakdown(divisor) {
+		fmt.Fprintf(&b, "%-34s %8.0f %7.0f%%\n",
+			strings.Repeat("  ", r.Indent)+r.Label, r.Cycles, r.Percent)
+	}
+	return b.String()
+}
+
+// MessageKinds returns message kinds sorted by name (for stable output).
+func (s *Collector) MessageKinds() []string {
+	kinds := make([]string, 0, len(s.Messages))
+	for k := range s.Messages {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

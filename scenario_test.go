@@ -1,0 +1,98 @@
+package compmig
+
+import (
+	"compmig/internal/core"
+	"compmig/internal/gid"
+	"compmig/internal/msg"
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// chainCell and chainCont build a minimal pointer-chase scenario used by
+// the migration-granularity ablation: visit m objects on m processors.
+type chainCell struct{ visits int }
+
+type chainCont struct {
+	id    core.ContID
+	idx   uint32
+	cells []gid.GID
+	// stackWords > 0 makes every hop a whole-thread migration.
+	stackWords uint64
+}
+
+func (c *chainCont) MarshalWords(w *msg.Writer) {
+	w.PutU32(c.idx)
+	w.PutU64(c.stackWords)
+	w.PutU32(uint32(len(c.cells)))
+	for _, g := range c.cells {
+		w.PutU64(uint64(g))
+	}
+}
+
+func (c *chainCont) UnmarshalWords(r *msg.Reader) error {
+	c.idx = r.U32()
+	c.stackWords = r.U64()
+	c.cells = make([]gid.GID, int(r.U32()))
+	for i := range c.cells {
+		c.cells[i] = gid.GID(r.U64())
+	}
+	return r.Err()
+}
+
+type chainDone struct{}
+
+func (chainDone) MarshalWords(w *msg.Writer)          { w.PutU32(1) }
+func (*chainDone) UnmarshalWords(r *msg.Reader) error { r.U32(); return r.Err() }
+
+func (c *chainCont) Run(t *core.Task) {
+	for int(c.idx) < len(c.cells) {
+		g := c.cells[c.idx]
+		if !t.IsLocal(g) {
+			if c.stackWords > 0 {
+				t.MigrateThread(g, c.id, c, c.stackWords)
+			} else {
+				t.Migrate(g, c.id, c)
+			}
+			return
+		}
+		t.State(g).(*chainCell).visits++
+		t.Work(50)
+		c.idx++
+	}
+	t.Return(chainDone{})
+}
+
+// migrationChainCycles runs an 8-hop chain and returns the simulated
+// cycles the whole operation took.
+func migrationChainCycles(stackWords uint64) float64 {
+	const m = 8
+	eng := sim.NewEngine(3)
+	mach := sim.NewMachine(eng, m+1)
+	col := stats.NewCollector()
+	model := core.Scheme{Mechanism: core.Migrate}.Model()
+	net := network.New(eng, network.Crossbar{}, col, model.NetTransitBase, model.NetTransitPerHop)
+	rt := core.New(eng, mach, net, col, model)
+
+	var env chainCont
+	env.id = rt.RegisterCont("chain", func() core.Continuation { return &chainCont{id: env.id} })
+	var cells []gid.GID
+	for p := 1; p <= m; p++ {
+		cells = append(cells, rt.Objects.New(p, &chainCell{}))
+	}
+
+	var elapsed sim.Time
+	eng.Spawn("walker", 0, func(th *sim.Thread) {
+		task := rt.NewTask(th, 0)
+		start := th.Now()
+		var done chainDone
+		if err := task.Do(&chainCont{id: env.id, cells: cells, stackWords: stackWords}, &done); err != nil {
+			panic(err)
+		}
+		elapsed = th.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return float64(elapsed)
+}
