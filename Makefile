@@ -1,0 +1,31 @@
+# make check is the CI gate: vet, build, tests, the race detector (the
+# harness worker pool is real host-side concurrency), and a quick
+# parallel smoke run of the full evaluation suite.
+
+GO ?= go
+
+.PHONY: check vet build test race smoke bench
+
+check: vet build test race smoke
+	@echo "check: all green"
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+smoke:
+	$(GO) run ./cmd/paperfigs -exp all -quick -workers 4 > /dev/null
+	@echo "smoke: paperfigs -exp all -quick -workers 4 ok"
+
+# bench regenerates the suite benchmarks (quick scale) with allocation
+# statistics; see BENCH_*.json for recorded full-scale runs.
+bench:
+	$(GO) test -bench BenchmarkSuite -benchmem -run '^$$' .

@@ -3,25 +3,48 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode] [-quick] [-seed N]
+//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig]
+//	          [-quick] [-seed N] [-format text|md] [-workers N] [-bench-json out.json]
+//
+// Independent simulation jobs run on a pool of -workers host goroutines
+// (default: one per CPU); the rendered tables are byte-identical for any
+// worker count. -bench-json runs each selected experiment at workers=1
+// and at -workers, verifies the outputs match, and writes wall-clock +
+// allocation statistics to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"compmig/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, all")
 	quick := flag.Bool("quick", false, "short measurement windows (smoke run)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	format := flag.String("format", "text", "output format: text or md")
+	workers := flag.Int("workers", 0, "worker goroutines for independent simulation jobs (0 = one per CPU, 1 = serial)")
+	benchJSON := flag.String("bench-json", "", "write wall-clock + allocation stats per experiment to this JSON file")
 	flag.Parse()
 
-	tables, err := harness.Run(*exp, harness.Options{Quick: *quick, Seed: *seed})
+	o := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	if *benchJSON != "" {
+		if err := runBench(*benchJSON, *exp, o); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	tables, err := harness.Run(*exp, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -37,4 +60,109 @@ func main() {
 			fmt.Print(t.String())
 		}
 	}
+}
+
+// benchEntry is one measured (experiment, workers) cell of the report.
+type benchEntry struct {
+	Experiment string  `json:"experiment"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Tables     int     `json:"tables"`
+}
+
+type benchReport struct {
+	Date        string       `json:"date"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	GoVersion   string       `json:"go_version"`
+	Quick       bool         `json:"quick"`
+	Seed        uint64       `json:"seed"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+// runBench measures each selected experiment at workers=1 and at the
+// requested worker count, verifies the rendered tables are identical,
+// and writes the report to path.
+func runBench(path, exp string, o harness.Options) error {
+	ids := []string{exp}
+	if exp == "all" {
+		// One id per independent sweep (fig3 shares fig2's, table2/4
+		// share table1/3's), plus the full suite.
+		ids = []string{"fig1", "fig2", "table1", "table3", "table5", "smallnode", "ext-objmig", "all"}
+	}
+	parallel := harness.Options{Quick: o.Quick, Seed: o.Seed, Workers: o.Workers}
+	serial := parallel
+	serial.Workers = 1
+
+	report := benchReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Quick:      o.Quick,
+		Seed:       serialSeed(o.Seed),
+	}
+	for _, id := range ids {
+		se, sOut, err := measure(id, serial)
+		if err != nil {
+			return err
+		}
+		report.Experiments = append(report.Experiments, se)
+		pe, pOut, err := measure(id, parallel)
+		if err != nil {
+			return err
+		}
+		if pe.Workers != se.Workers {
+			report.Experiments = append(report.Experiments, pe)
+		}
+		if sOut != pOut {
+			return fmt.Errorf("paperfigs: experiment %q rendered differently at workers=%d vs workers=%d", id, se.Workers, pe.Workers)
+		}
+		fmt.Fprintf(os.Stderr, "%-12s workers=%-2d %8.1f ms   workers=%-2d %8.1f ms\n",
+			id, se.Workers, se.WallMS, pe.Workers, pe.WallMS)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func serialSeed(seed uint64) uint64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
+}
+
+// measure runs one experiment and samples wall clock and allocation
+// deltas around it.
+func measure(id string, o harness.Options) (benchEntry, string, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	tables, err := harness.Run(id, o)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchEntry{}, "", err
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.String())
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return benchEntry{
+		Experiment: id,
+		Workers:    workers,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Tables:     len(tables),
+	}, b.String(), nil
 }

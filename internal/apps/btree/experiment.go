@@ -1,7 +1,8 @@
 package btree
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"compmig/internal/core"
 	"compmig/internal/cost"
@@ -136,6 +137,7 @@ func RunExperiment(cfg Config) Result {
 		}
 		shm = mem.New(eng, mach, net, col, mp)
 	}
+	defer shm.Release()
 	var tbl *repl.Table
 	if cfg.Scheme.Replication {
 		tbl = repl.NewTable(rt)
@@ -201,18 +203,64 @@ func RunExperiment(cfg Config) Result {
 	return res
 }
 
-// GenKeys draws n distinct sorted keys uniformly from [1, space].
+// keyCache memoizes GenKeys results: every run of a table sweep draws
+// the same workload from an identically-seeded fork, so the key set is
+// generated once and copied out afterwards. The key is the generator's
+// exact state plus the arguments, which fully determine the output.
+// Guarded by a mutex because harness workers build experiments
+// concurrently.
+type keyCacheKey struct {
+	state [4]uint64
+	n     int
+	space uint64
+}
+
+// keyCacheEntry records the generated keys and how many Uint64 draws
+// producing them consumed (n plus duplicate retries), so a cache hit can
+// leave rng in exactly the state generation would have: callers fork
+// workload streams off the generator afterwards.
+type keyCacheEntry struct {
+	keys  []uint64
+	draws int
+}
+
+var (
+	keyCacheMu sync.Mutex
+	keyCache   = map[keyCacheKey]keyCacheEntry{}
+)
+
+// GenKeys draws n distinct sorted keys uniformly from [1, space]. The
+// result is a pure function of (rng state, n, space) and is memoized;
+// rng is always left in the same state as an uncached generation.
 func GenKeys(rng *sim.PRNG, n int, space uint64) []uint64 {
+	ck := keyCacheKey{state: rng.State(), n: n, space: space}
+	keyCacheMu.Lock()
+	cached, hit := keyCache[ck]
+	keyCacheMu.Unlock()
+	if hit {
+		for i := 0; i < cached.draws; i++ {
+			rng.Uint64()
+		}
+		// Copy with capacity exactly n, matching what generation builds.
+		out := make([]uint64, len(cached.keys))
+		copy(out, cached.keys)
+		return out
+	}
 	seen := make(map[uint64]struct{}, n)
 	keys := make([]uint64, 0, n)
+	draws := 0
 	for len(keys) < n {
 		k := 1 + rng.Uint64n(space)
+		draws++
 		if _, dup := seen[k]; dup {
 			continue
 		}
 		seen[k] = struct{}{}
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
+	keyCacheMu.Lock()
+	keyCache[ck] = keyCacheEntry{keys: slices.Clone(keys), draws: draws}
+	keyCacheMu.Unlock()
 	return keys
 }

@@ -122,6 +122,7 @@ func RunExperiment(cfg Config) Result {
 		}
 		shm = mem.New(eng, mach, net, col, mp)
 	}
+	defer shm.Release()
 	n := Build(rt, shm, cfg.Scheme, cfg.Width)
 
 	stop := cfg.Warmup + cfg.Measure

@@ -125,7 +125,9 @@ func (t *Task) Migrate(g gid.GID, contID ContID, next Continuation) {
 	t.migrated = true
 	rt := t.rt
 	rt.Col.MigrationsSent++
-	rt.Eng.Tracef("migrate", "frame -> p%d (obj %#x)", rt.Objects.Home(g), uint64(g))
+	if rt.Eng.Tracing() {
+		rt.Eng.Tracef("migrate", "frame -> p%d (obj %#x)", rt.Objects.Home(g), uint64(g))
+	}
 
 	// Build the wire record: target object + continuation id + linkage +
 	// any riding caller frames + live variables. The target GID is what

@@ -14,33 +14,59 @@ import (
 	"compmig/internal/stats"
 )
 
-// Fig1 renders §2.5's message-count model (Figure 1) and validates it
-// against the simulator: a thread on P0 makes n consecutive accesses to
-// each of m data items on processors 1..m; the analytic counts must
-// match the messages the runtime actually sends.
-func Fig1(o Options) Table {
+// fig1Exp decomposes §2.5's message-count model validation (Figure 1)
+// into one spec per (mechanism, m) simulation: a thread on P0 makes n
+// consecutive accesses to each of m data items on processors 1..m; the
+// analytic counts must match the messages the runtime actually sends.
+func fig1Exp(o Options) experiment {
 	const n = 2
-	t := Table{
-		ID:      "FIG1",
-		Title:   fmt.Sprintf("Messages for %d accesses to each of m remote data items (model vs simulated)", n),
-		Headers: []string{"m", "RPC model", "RPC sim", "data-mig model", "data-mig sim", "comp-mig model", "comp-mig sim"},
-		Note:    "model: RPC=2nm, data migration=2m, computation migration=m+1 (return short-circuits)",
+	ms := []int{1, 2, 4, 8, 16}
+	var specs []RunSpec
+	for _, m := range ms {
+		specs = append(specs,
+			RunSpec{
+				Label: fmt.Sprintf("fig1/rpc/m=%d", m),
+				Run:   func() any { return fig1Messages(core.RPC, n, m, o.seed()) },
+			},
+			RunSpec{
+				Label: fmt.Sprintf("fig1/cm/m=%d", m),
+				Run:   func() any { return fig1Messages(core.Migrate, n, m, o.seed()) },
+			},
+			RunSpec{
+				Label: fmt.Sprintf("fig1/dm/m=%d", m),
+				Run:   func() any { return fig1DataMigration(n, m, o.seed()) },
+			})
 	}
-	for _, m := range []int{1, 2, 4, 8, 16} {
-		rpcSim := fig1Messages(core.RPC, n, m, o.seed())
-		cmSim := fig1Messages(core.Migrate, n, m, o.seed())
-		dmSim := fig1DataMigration(n, m, o.seed())
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", m),
-			fmt.Sprintf("%d", model.Messages(model.RPC, n, m)),
-			fmt.Sprintf("%d", rpcSim),
-			fmt.Sprintf("%d", model.Messages(model.DataMigration, n, m)),
-			fmt.Sprintf("%d", dmSim),
-			fmt.Sprintf("%d", model.Messages(model.ComputationMigration, n, m)),
-			fmt.Sprintf("%d", cmSim),
-		})
+	render := func(results []any) []Table {
+		t := Table{
+			ID:      "FIG1",
+			Title:   fmt.Sprintf("Messages for %d accesses to each of m remote data items (model vs simulated)", n),
+			Headers: []string{"m", "RPC model", "RPC sim", "data-mig model", "data-mig sim", "comp-mig model", "comp-mig sim"},
+			Note:    "model: RPC=2nm, data migration=2m, computation migration=m+1 (return short-circuits)",
+		}
+		for i, m := range ms {
+			rpcSim := results[3*i].(uint64)
+			cmSim := results[3*i+1].(uint64)
+			dmSim := results[3*i+2].(uint64)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", m),
+				fmt.Sprintf("%d", model.Messages(model.RPC, n, m)),
+				fmt.Sprintf("%d", rpcSim),
+				fmt.Sprintf("%d", model.Messages(model.DataMigration, n, m)),
+				fmt.Sprintf("%d", dmSim),
+				fmt.Sprintf("%d", model.Messages(model.ComputationMigration, n, m)),
+				fmt.Sprintf("%d", cmSim),
+			})
+		}
+		return []Table{t}
 	}
-	return t
+	return experiment{specs: specs, render: render}
+}
+
+// Fig1 renders §2.5's message-count model (Figure 1) validated against
+// the simulator.
+func Fig1(o Options) Table {
+	return fig1Exp(o).run(o.workers())[0]
 }
 
 // fig1Cell is a trivial data item for the Figure 1 scenario.
@@ -158,6 +184,7 @@ func fig1DataMigration(n, m int, seed uint64) uint64 {
 	col := stats.NewCollector()
 	net := network.New(eng, network.Crossbar{}, col, 17, 0)
 	shm := mem.New(eng, mach, net, col, mem.DefaultParams())
+	defer shm.Release()
 
 	var addrs []mem.Addr
 	for p := 1; p <= m; p++ {
@@ -176,12 +203,12 @@ func fig1DataMigration(n, m int, seed uint64) uint64 {
 	return col.TotalMessages()
 }
 
-// Table5 reproduces the per-migration cost breakdown: a single thread
-// traverses the counting network under computation migration (software
-// model) and the collector's cycle categories are averaged over the
-// migrations performed.
-func Table5(o Options) Table {
-	eng := sim.NewEngine(o.seed())
+// table5Breakdown runs the Table 5 scenario: a single thread traverses
+// the counting network under computation migration (software model) and
+// the collector's cycle categories are averaged over the migrations
+// performed.
+func table5Breakdown(seed uint64) []stats.BreakdownRow {
+	eng := sim.NewEngine(seed)
 	scheme := core.Scheme{Mechanism: core.Migrate}
 	md := scheme.Model()
 	mach := sim.NewMachine(eng, 25)
@@ -200,34 +227,50 @@ func Table5(o Options) Table {
 	if err := eng.Run(); err != nil {
 		panic("harness: table5 deadlocked: " + err.Error())
 	}
+	return col.Breakdown(col.MigrationsSent)
+}
 
-	paper := map[string]string{
-		"Total time": "651", "User code": "150", "Network transit": "17",
-		"Message overhead total": "484", "Receiver total": "341",
-		"Copy packet": "76", "Thread creation": "66",
-		"Procedure linkage (recv)": "66", "Unmarshaling": "51",
-		"Object ID translation": "36", "Scheduler": "36",
-		"Forwarding check": "23", "Allocate packet (recv)": "16",
-		"Sender total": "143", "Procedure linkage (send)": "44",
-		"Allocate packet (send)": "35", "Message send": "23",
-		"Marshaling": "22",
+// table5Exp wraps the per-migration cost breakdown as a single spec.
+func table5Exp(o Options) experiment {
+	specs := []RunSpec{{
+		Label: "table5/migration-breakdown",
+		Run:   func() any { return table5Breakdown(o.seed()) },
+	}}
+	render := func(results []any) []Table {
+		paper := map[string]string{
+			"Total time": "651", "User code": "150", "Network transit": "17",
+			"Message overhead total": "484", "Receiver total": "341",
+			"Copy packet": "76", "Thread creation": "66",
+			"Procedure linkage (recv)": "66", "Unmarshaling": "51",
+			"Object ID translation": "36", "Scheduler": "36",
+			"Forwarding check": "23", "Allocate packet (recv)": "16",
+			"Sender total": "143", "Procedure linkage (send)": "44",
+			"Allocate packet (send)": "35", "Message send": "23",
+			"Marshaling": "22",
+		}
+		t := Table{
+			ID:      "TABLE5",
+			Title:   "Approximate costs for one migration in the counting network (cycles)",
+			Headers: []string{"category", "measured", "percent", "paper"},
+			Note:    "averaged over migrations; includes the once-per-request short-circuit return",
+		}
+		for _, r := range results[0].([]stats.BreakdownRow) {
+			label := r.Label
+			t.Rows = append(t.Rows, []string{
+				indent(r.Indent) + label,
+				fmt.Sprintf("%.0f", r.Cycles),
+				fmt.Sprintf("%.0f%%", r.Percent),
+				paper[label],
+			})
+		}
+		return []Table{t}
 	}
-	t := Table{
-		ID:      "TABLE5",
-		Title:   "Approximate costs for one migration in the counting network (cycles)",
-		Headers: []string{"category", "measured", "percent", "paper"},
-		Note:    "averaged over migrations; includes the once-per-request short-circuit return",
-	}
-	for _, r := range col.Breakdown(col.MigrationsSent) {
-		label := r.Label
-		t.Rows = append(t.Rows, []string{
-			indent(r.Indent) + label,
-			fmt.Sprintf("%.0f", r.Cycles),
-			fmt.Sprintf("%.0f%%", r.Percent),
-			paper[label],
-		})
-	}
-	return t
+	return experiment{specs: specs, render: render}
+}
+
+// Table5 reproduces the per-migration cost breakdown.
+func Table5(o Options) Table {
+	return table5Exp(o).run(o.workers())[0]
 }
 
 func indent(n int) string {

@@ -4,6 +4,12 @@
 // paper's reported value alongside the measured one where the paper
 // gives a number.
 //
+// Every experiment is decomposed into independent RunSpec jobs — one
+// fully-configured machine build + run each — executed on a host-side
+// worker pool (Options.Workers). Tables are assembled from the results
+// in deterministic spec order, so the output is byte-identical for any
+// worker count.
+//
 // Absolute cycle counts differ from the paper's (our substrate is a
 // reimplemented simulator, not the authors' Proteus setup); the claims
 // under reproduction are the orderings and rough factors — see
@@ -20,12 +26,16 @@ import (
 	"compmig/internal/sim"
 )
 
-// Options controls experiment scale.
+// Options controls experiment scale and execution.
 type Options struct {
 	// Quick shrinks the measurement windows for tests and smoke runs.
 	Quick bool
 	// Seed makes the whole suite reproducible; 0 means 1.
 	Seed uint64
+	// Workers is the number of host goroutines running simulation jobs
+	// concurrently: 0 means one per available CPU, 1 runs everything
+	// serially in the calling goroutine. Results do not depend on it.
+	Workers int
 }
 
 func (o Options) seed() uint64 {
@@ -147,91 +157,147 @@ func threadCounts(quick bool) []int {
 	return []int{8, 16, 32, 48, 64}
 }
 
-// Run dispatches an experiment by id: fig1, fig2, fig3, table1, table2,
-// table3, table4, table5, smallnode, or all.
-func Run(id string, o Options) ([]Table, error) {
+// ExperimentIDs lists every experiment id Run accepts, excluding "all".
+func ExperimentIDs() []string {
+	return []string{"fig1", "fig2", "fig3", "table1", "table2", "table3",
+		"table4", "table5", "smallnode", "ext-objmig"}
+}
+
+// plan maps an experiment id to the sweeps it needs plus an optional
+// table-ID filter (for ids that share a sweep, like fig2/fig3).
+func plan(id string, o Options) ([]experiment, string, error) {
 	switch id {
 	case "fig1":
-		return []Table{Fig1(o)}, nil
-	case "fig2", "fig3":
-		f2, f3 := CountnetFigures(o)
-		if id == "fig2" {
-			return f2, nil
-		}
-		return f3, nil
-	case "table1", "table2":
-		t1, t2 := BtreeTables12(o)
-		if id == "table1" {
-			return []Table{t1}, nil
-		}
-		return []Table{t2}, nil
-	case "table3", "table4":
-		t3, t4 := BtreeTables34(o)
-		if id == "table3" {
-			return []Table{t3}, nil
-		}
-		return []Table{t4}, nil
+		return []experiment{fig1Exp(o)}, "", nil
+	case "fig2":
+		return []experiment{countnetExp(o)}, "FIG2", nil
+	case "fig3":
+		return []experiment{countnetExp(o)}, "FIG3", nil
+	case "table1":
+		return []experiment{btree12Exp(o)}, "TABLE1", nil
+	case "table2":
+		return []experiment{btree12Exp(o)}, "TABLE2", nil
+	case "table3":
+		return []experiment{btree34Exp(o)}, "TABLE3", nil
+	case "table4":
+		return []experiment{btree34Exp(o)}, "TABLE4", nil
 	case "table5":
-		return []Table{Table5(o)}, nil
+		return []experiment{table5Exp(o)}, "", nil
 	case "smallnode":
-		return []Table{SmallNode(o)}, nil
+		return []experiment{smallNodeExp(o)}, "", nil
 	case "ext-objmig":
-		return []Table{ObjMigration(o), BtreeObjMigration(o)}, nil
+		return []experiment{objMigExp(o), btreeObjMigExp(o)}, "", nil
 	case "all":
-		var out []Table
-		out = append(out, Fig1(o))
-		f2, f3 := CountnetFigures(o)
-		out = append(out, f2...)
-		out = append(out, f3...)
-		t1, t2 := BtreeTables12(o)
-		t3, t4 := BtreeTables34(o)
-		out = append(out, t1, t2, t3, t4, Table5(o), SmallNode(o), ObjMigration(o), BtreeObjMigration(o))
-		return out, nil
+		return []experiment{
+			fig1Exp(o), countnetExp(o), btree12Exp(o), btree34Exp(o),
+			table5Exp(o), smallNodeExp(o), objMigExp(o), btreeObjMigExp(o),
+		}, "", nil
 	default:
-		return nil, fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, all)", id)
+		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, all)", id)
 	}
+}
+
+// Run dispatches an experiment by id: fig1, fig2, fig3, table1, table2,
+// table3, table4, table5, smallnode, ext-objmig, or all. The specs of
+// every selected experiment are pooled onto one set of workers, and the
+// tables are assembled in the experiments' declared order.
+func Run(id string, o Options) ([]Table, error) {
+	exps, filter, err := plan(id, o)
+	if err != nil {
+		return nil, err
+	}
+	var specs []RunSpec
+	for _, ex := range exps {
+		specs = append(specs, ex.specs...)
+	}
+	results := runSpecs(specs, o.workers())
+	var tables []Table
+	off := 0
+	for _, ex := range exps {
+		tables = append(tables, ex.render(results[off:off+len(ex.specs)])...)
+		off += len(ex.specs)
+	}
+	if filter != "" {
+		var kept []Table
+		for _, t := range tables {
+			if t.ID == filter {
+				kept = append(kept, t)
+			}
+		}
+		tables = kept
+	}
+	return tables, nil
+}
+
+// countnetExp decomposes the Figure 2/3 sweep into one spec per
+// (think time, scheme, thread count) point. Its renderer emits the four
+// tables in the order FIG2 think=0, FIG2 think=10000, FIG3 think=0,
+// FIG3 think=10000.
+func countnetExp(o Options) experiment {
+	warmup, measure := o.windows()
+	threads := threadCounts(o.Quick)
+	thinks := []uint64{0, 10000}
+	schemes := countnetSchemes()
+	var specs []RunSpec
+	for _, think := range thinks {
+		for _, s := range schemes {
+			for _, n := range threads {
+				cfg := countnet.Config{
+					Threads: n, Think: think, Scheme: s,
+					Seed: o.seed(), Warmup: warmup, Measure: measure,
+				}
+				specs = append(specs, RunSpec{
+					Label: fmt.Sprintf("countnet/%s/think=%d/threads=%d", s.Name(), think, n),
+					Run:   func() any { return countnet.RunExperiment(cfg) },
+				})
+			}
+		}
+	}
+	render := func(results []any) []Table {
+		var fig2, fig3 []Table
+		i := 0
+		for _, think := range thinks {
+			t2 := Table{
+				ID:    "FIG2",
+				Title: fmt.Sprintf("Counting network throughput, requests/1000 cycles (think=%d)", think),
+				Note:  "paper shape: CM above RPC; HW helps both; SM and CM w/HW close at high contention",
+			}
+			t3 := Table{
+				ID:    "FIG3",
+				Title: fmt.Sprintf("Counting network bandwidth, words/10 cycles (think=%d)", think),
+				Note:  "paper shape: SM consumes the most under contention; CM under half of RPC and SM",
+			}
+			t2.Headers = []string{"scheme"}
+			for _, n := range threads {
+				t2.Headers = append(t2.Headers, fmt.Sprintf("%d", n))
+			}
+			t3.Headers = t2.Headers
+			for _, s := range schemes {
+				row2 := []string{s.Name()}
+				row3 := []string{s.Name()}
+				for range threads {
+					r := results[i].(countnet.Result)
+					i++
+					row2 = append(row2, fmt.Sprintf("%.2f", r.Throughput))
+					row3 = append(row3, fmt.Sprintf("%.2f", r.Bandwidth))
+				}
+				t2.Rows = append(t2.Rows, row2)
+				t3.Rows = append(t3.Rows, row3)
+			}
+			fig2 = append(fig2, t2)
+			fig3 = append(fig3, t3)
+		}
+		return append(fig2, fig3...)
+	}
+	return experiment{specs: specs, render: render}
 }
 
 // CountnetFigures runs the Figure 2/3 sweep once and renders both
 // figures (throughput and bandwidth), each at the paper's two think
 // times.
 func CountnetFigures(o Options) (fig2, fig3 []Table) {
-	warmup, measure := o.windows()
-	threads := threadCounts(o.Quick)
-	for _, think := range []uint64{0, 10000} {
-		t2 := Table{
-			ID:    "FIG2",
-			Title: fmt.Sprintf("Counting network throughput, requests/1000 cycles (think=%d)", think),
-			Note:  "paper shape: CM above RPC; HW helps both; SM and CM w/HW close at high contention",
-		}
-		t3 := Table{
-			ID:    "FIG3",
-			Title: fmt.Sprintf("Counting network bandwidth, words/10 cycles (think=%d)", think),
-			Note:  "paper shape: SM consumes the most under contention; CM under half of RPC and SM",
-		}
-		t2.Headers = []string{"scheme"}
-		for _, n := range threads {
-			t2.Headers = append(t2.Headers, fmt.Sprintf("%d", n))
-		}
-		t3.Headers = t2.Headers
-		for _, s := range countnetSchemes() {
-			row2 := []string{s.Name()}
-			row3 := []string{s.Name()}
-			for _, n := range threads {
-				r := countnet.RunExperiment(countnet.Config{
-					Threads: n, Think: think, Scheme: s,
-					Seed: o.seed(), Warmup: warmup, Measure: measure,
-				})
-				row2 = append(row2, fmt.Sprintf("%.2f", r.Throughput))
-				row3 = append(row3, fmt.Sprintf("%.2f", r.Bandwidth))
-			}
-			t2.Rows = append(t2.Rows, row2)
-			t3.Rows = append(t3.Rows, row3)
-		}
-		fig2 = append(fig2, t2)
-		fig3 = append(fig3, t3)
-	}
-	return fig2, fig3
+	tabs := countnetExp(o).run(o.workers())
+	return tabs[:2], tabs[2:]
 }
 
 // paperTable1 and paperTable2 are the values printed in the paper.
@@ -249,31 +315,50 @@ var paperTable2 = map[string]string{
 	"CP w/repl. & HW": "3.9",
 }
 
+// btree12Exp decomposes the nine-scheme B-tree experiment at zero think
+// time; its renderer emits Table 1 (throughput) then Table 2 (bandwidth).
+func btree12Exp(o Options) experiment {
+	warmup, measure := o.windows()
+	schemes := btreeSchemes()
+	var specs []RunSpec
+	for _, s := range schemes {
+		cfg := btree.Config{
+			Scheme: s, Think: 0, Seed: o.seed(),
+			Warmup: warmup, Measure: measure,
+		}
+		specs = append(specs, RunSpec{
+			Label: "table1/" + s.Name(),
+			Run:   func() any { return btree.RunExperiment(cfg) },
+		})
+	}
+	render := func(results []any) []Table {
+		t1 := Table{
+			ID:      "TABLE1",
+			Title:   "B-tree throughput, ops/1000 cycles (0 think time)",
+			Headers: []string{"scheme", "measured", "paper"},
+			Note:    "paper shape: SM > CP > RPC; replication and hardware support each help",
+		}
+		t2 := Table{
+			ID:      "TABLE2",
+			Title:   "B-tree bandwidth, words/10 cycles (0 think time)",
+			Headers: []string{"scheme", "measured", "paper"},
+			Note:    "paper shape: SM uses an order of magnitude more bandwidth; CP the least",
+		}
+		for i, s := range schemes {
+			r := results[i].(btree.Result)
+			t1.Rows = append(t1.Rows, []string{s.Name(), fmt.Sprintf("%.3f", r.Throughput), paperTable1[s.Name()]})
+			t2.Rows = append(t2.Rows, []string{s.Name(), fmt.Sprintf("%.2f", r.Bandwidth), paperTable2[s.Name()]})
+		}
+		return []Table{t1, t2}
+	}
+	return experiment{specs: specs, render: render}
+}
+
 // BtreeTables12 runs the nine-scheme B-tree experiment at zero think
 // time and renders Table 1 (throughput) and Table 2 (bandwidth).
 func BtreeTables12(o Options) (Table, Table) {
-	warmup, measure := o.windows()
-	t1 := Table{
-		ID:      "TABLE1",
-		Title:   "B-tree throughput, ops/1000 cycles (0 think time)",
-		Headers: []string{"scheme", "measured", "paper"},
-		Note:    "paper shape: SM > CP > RPC; replication and hardware support each help",
-	}
-	t2 := Table{
-		ID:      "TABLE2",
-		Title:   "B-tree bandwidth, words/10 cycles (0 think time)",
-		Headers: []string{"scheme", "measured", "paper"},
-		Note:    "paper shape: SM uses an order of magnitude more bandwidth; CP the least",
-	}
-	for _, s := range btreeSchemes() {
-		r := btree.RunExperiment(btree.Config{
-			Scheme: s, Think: 0, Seed: o.seed(),
-			Warmup: warmup, Measure: measure,
-		})
-		t1.Rows = append(t1.Rows, []string{s.Name(), fmt.Sprintf("%.3f", r.Throughput), paperTable1[s.Name()]})
-		t2.Rows = append(t2.Rows, []string{s.Name(), fmt.Sprintf("%.2f", r.Bandwidth), paperTable2[s.Name()]})
-	}
-	return t1, t2
+	tabs := btree12Exp(o).run(o.workers())
+	return tabs[0], tabs[1]
 }
 
 var paperTable3 = map[string]string{
@@ -284,55 +369,91 @@ var paperTable4 = map[string]string{
 	"SM": "16", "CP w/repl.": "2.5", "CP w/repl. & HW": "2.7",
 }
 
+// btree34Exp decomposes the low-contention B-tree experiment
+// (think=10000); its renderer emits Tables 3 and 4.
+func btree34Exp(o Options) experiment {
+	warmup, measure := o.windows()
+	schemes := lowContentionSchemes()
+	var specs []RunSpec
+	for _, s := range schemes {
+		cfg := btree.Config{
+			Scheme: s, Think: 10000, Seed: o.seed(),
+			Warmup: warmup, Measure: measure,
+		}
+		specs = append(specs, RunSpec{
+			Label: "table3/" + s.Name(),
+			Run:   func() any { return btree.RunExperiment(cfg) },
+		})
+	}
+	render := func(results []any) []Table {
+		t3 := Table{
+			ID:      "TABLE3",
+			Title:   "B-tree throughput, ops/1000 cycles (10000 think time)",
+			Headers: []string{"scheme", "measured", "paper"},
+			Note:    "paper shape: with light root contention, CP w/repl. & HW matches SM",
+		}
+		t4 := Table{
+			ID:      "TABLE4",
+			Title:   "B-tree bandwidth, words/10 cycles (10000 think time)",
+			Headers: []string{"scheme", "measured", "paper"},
+			Note:    "paper shape: SM still uses several times CP's bandwidth (coherence upkeep)",
+		}
+		for i, s := range schemes {
+			r := results[i].(btree.Result)
+			t3.Rows = append(t3.Rows, []string{s.Name(), fmt.Sprintf("%.3f", r.Throughput), paperTable3[s.Name()]})
+			t4.Rows = append(t4.Rows, []string{s.Name(), fmt.Sprintf("%.2f", r.Bandwidth), paperTable4[s.Name()]})
+		}
+		return []Table{t3, t4}
+	}
+	return experiment{specs: specs, render: render}
+}
+
 // BtreeTables34 runs the low-contention B-tree experiment (think=10000)
 // and renders Tables 3 and 4.
 func BtreeTables34(o Options) (Table, Table) {
-	warmup, measure := o.windows()
-	t3 := Table{
-		ID:      "TABLE3",
-		Title:   "B-tree throughput, ops/1000 cycles (10000 think time)",
-		Headers: []string{"scheme", "measured", "paper"},
-		Note:    "paper shape: with light root contention, CP w/repl. & HW matches SM",
-	}
-	t4 := Table{
-		ID:      "TABLE4",
-		Title:   "B-tree bandwidth, words/10 cycles (10000 think time)",
-		Headers: []string{"scheme", "measured", "paper"},
-		Note:    "paper shape: SM still uses several times CP's bandwidth (coherence upkeep)",
-	}
-	for _, s := range lowContentionSchemes() {
-		r := btree.RunExperiment(btree.Config{
-			Scheme: s, Think: 10000, Seed: o.seed(),
-			Warmup: warmup, Measure: measure,
-		})
-		t3.Rows = append(t3.Rows, []string{s.Name(), fmt.Sprintf("%.3f", r.Throughput), paperTable3[s.Name()]})
-		t4.Rows = append(t4.Rows, []string{s.Name(), fmt.Sprintf("%.2f", r.Bandwidth), paperTable4[s.Name()]})
-	}
-	return t3, t4
+	tabs := btree34Exp(o).run(o.workers())
+	return tabs[0], tabs[1]
 }
 
-// SmallNode runs §4.2's fanout-10 variant: with the bottleneck below the
-// root relieved, CP w/repl. closes most of the gap to SM.
-func SmallNode(o Options) Table {
+// smallNodeExp decomposes §4.2's fanout-10 variant: with the bottleneck
+// below the root relieved, CP w/repl. closes most of the gap to SM.
+func smallNodeExp(o Options) experiment {
 	warmup, measure := o.windows()
-	t := Table{
-		ID:      "SMALLNODE",
-		Title:   "B-tree throughput with fanout 10, ops/1000 cycles (0 think time)",
-		Headers: []string{"scheme", "measured", "paper"},
-		Note:    "paper: SM 2.427 vs CP w/repl. 2.076 — SM still ahead, but the gap narrows",
-	}
-	paper := map[string]string{"SM": "2.427", "CP w/repl.": "2.076"}
-	for _, s := range []core.Scheme{
+	schemes := []core.Scheme{
 		{Mechanism: core.SharedMem},
 		{Mechanism: core.Migrate, Replication: true},
-	} {
+	}
+	var specs []RunSpec
+	for _, s := range schemes {
 		p := btree.DefaultParams()
 		p.Fanout = 10
-		r := btree.RunExperiment(btree.Config{
+		cfg := btree.Config{
 			Params: p, Scheme: s, Think: 0, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
+		}
+		specs = append(specs, RunSpec{
+			Label: "smallnode/" + s.Name(),
+			Run:   func() any { return btree.RunExperiment(cfg) },
 		})
-		t.Rows = append(t.Rows, []string{s.Name(), fmt.Sprintf("%.3f", r.Throughput), paper[s.Name()]})
 	}
-	return t
+	render := func(results []any) []Table {
+		t := Table{
+			ID:      "SMALLNODE",
+			Title:   "B-tree throughput with fanout 10, ops/1000 cycles (0 think time)",
+			Headers: []string{"scheme", "measured", "paper"},
+			Note:    "paper: SM 2.427 vs CP w/repl. 2.076 — SM still ahead, but the gap narrows",
+		}
+		paper := map[string]string{"SM": "2.427", "CP w/repl.": "2.076"}
+		for i, s := range schemes {
+			r := results[i].(btree.Result)
+			t.Rows = append(t.Rows, []string{s.Name(), fmt.Sprintf("%.3f", r.Throughput), paper[s.Name()]})
+		}
+		return []Table{t}
+	}
+	return experiment{specs: specs, render: render}
+}
+
+// SmallNode runs §4.2's fanout-10 variant.
+func SmallNode(o Options) Table {
+	return smallNodeExp(o).run(o.workers())[0]
 }

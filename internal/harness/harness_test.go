@@ -265,6 +265,56 @@ func TestMarkdownRendering(t *testing.T) {
 	}
 }
 
+// TestParallelRunIsByteIdentical asserts the tentpole determinism
+// contract: the full suite rendered with one worker and with four
+// workers must be byte-identical, in both output formats.
+func TestParallelRunIsByteIdentical(t *testing.T) {
+	render := func(workers int) (string, string) {
+		tabs, err := Run("all", Options{Quick: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("Run(all, workers=%d): %v", workers, err)
+		}
+		var text, md strings.Builder
+		for _, tb := range tabs {
+			text.WriteString(tb.String())
+			md.WriteString(tb.Markdown())
+		}
+		return text.String(), md.String()
+	}
+	serialText, serialMD := render(1)
+	parallelText, parallelMD := render(4)
+	if serialText != parallelText {
+		t.Error("text tables differ between workers=1 and workers=4")
+	}
+	if serialMD != parallelMD {
+		t.Error("markdown tables differ between workers=1 and workers=4")
+	}
+}
+
+// TestRunSpecsOrderAndWorkerCounts asserts results always come back in
+// spec order regardless of worker count, including more workers than
+// specs.
+func TestRunSpecsOrderAndWorkerCounts(t *testing.T) {
+	specs := make([]RunSpec, 9)
+	for i := range specs {
+		specs[i] = RunSpec{
+			Label: strconv.Itoa(i),
+			Run:   func() any { return i },
+		}
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		results := runSpecs(specs, workers)
+		if len(results) != len(specs) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.(int) != i {
+				t.Fatalf("workers=%d: result %d = %v, out of spec order", workers, i, r)
+			}
+		}
+	}
+}
+
 func TestOptionsDefaults(t *testing.T) {
 	var o Options
 	if o.seed() != 1 {

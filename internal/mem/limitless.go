@@ -48,11 +48,10 @@ func (s *System) CheckCoherence() error {
 	}
 	holders := make(map[Addr][]holder)
 	for p, c := range s.caches {
-		for _, set := range c.sets {
-			for _, l := range set {
-				if l.state != invalid {
-					holders[l.tag] = append(holders[l.tag], holder{proc: p, state: l.state})
-				}
+		for i := range c.lines {
+			l := &c.lines[i]
+			if c.valid(l) {
+				holders[l.tag] = append(holders[l.tag], holder{proc: p, state: l.state})
 			}
 		}
 	}

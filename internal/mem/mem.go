@@ -18,6 +18,7 @@ package mem
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"compmig/internal/network"
 	"compmig/internal/sim"
@@ -90,16 +91,57 @@ const (
 	modified
 )
 
+// cacheLine is kept to 16 bytes (tag + packed lru/gen/state) so a 64KB
+// cache's metadata is one 64KB block: building and walking it is far
+// cheaper than the naive layout. The 32-bit lru tick is plenty: it
+// counts cache accesses within one experiment run, far below 2^32.
+//
+// gen makes entries from a previous life of a pooled backing array
+// invisible without clearing it: a line is valid only when its gen
+// matches the owning cache's generation.
 type cacheLine struct {
 	tag   Addr
+	lru   uint32
+	gen   uint16
 	state lineState
-	lru   uint64
 }
 
 type cache struct {
-	sets [][]cacheLine
-	mask uint64
-	tick uint64
+	lines []cacheLine // flat: set i occupies lines[i*ways : (i+1)*ways]
+	back  *cacheBacking
+	mask  uint64
+	ways  int
+	tick  uint32
+	gen   uint16
+}
+
+// cacheBacking is a recyclable cacheLine array plus the generation its
+// entries were last written under. The process-wide pool lets a harness
+// sweep build thousands of machines without allocating (or zeroing) a
+// fresh 64KB metadata block each time.
+type cacheBacking struct {
+	lines []cacheLine
+	gen   uint16
+}
+
+var backingPool sync.Pool
+
+func getBacking(n int) *cacheBacking {
+	if v := backingPool.Get(); v != nil {
+		b := v.(*cacheBacking)
+		if len(b.lines) == n {
+			b.gen++
+			if b.gen == 0 {
+				// Generation counter wrapped: entries written 2^16 lives
+				// ago could collide with the new generation, so clear.
+				clear(b.lines)
+				b.gen = 1
+			}
+			return b
+		}
+	}
+	// Fresh zeroed lines carry gen 0, invisible under generation 1.
+	return &cacheBacking{lines: make([]cacheLine, n), gen: 1}
 }
 
 func newCache(p Params) *cache {
@@ -108,22 +150,38 @@ func newCache(p Params) *cache {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("mem: cache must have a power-of-two set count, got %d", sets))
 	}
-	c := &cache{sets: make([][]cacheLine, sets), mask: uint64(sets - 1)}
-	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, p.Ways)
+	b := getBacking(sets * p.Ways)
+	return &cache{lines: b.lines, back: b, mask: uint64(sets - 1), ways: p.Ways, gen: b.gen}
+}
+
+// release returns the cache's backing array to the pool. The cache must
+// not be used afterwards.
+func (c *cache) release() {
+	if c.back == nil {
+		return
 	}
-	return c
+	backingPool.Put(c.back)
+	c.back = nil
+	c.lines = nil
 }
 
 func (c *cache) set(line Addr) []cacheLine {
-	return c.sets[(uint64(line)/LineBytes)&c.mask]
+	i := int((uint64(line)/LineBytes)&c.mask) * c.ways
+	return c.lines[i : i+c.ways : i+c.ways]
+}
+
+// valid reports whether l holds a live entry of this cache (not invalid,
+// not a leftover from a previous life of the backing array).
+func (c *cache) valid(l *cacheLine) bool {
+	return l.gen == c.gen && l.state != invalid
 }
 
 // lookup returns the cached line or nil.
 func (c *cache) lookup(line Addr) *cacheLine {
-	for i := range c.set(line) {
-		l := &c.set(line)[i]
-		if l.state != invalid && l.tag == line {
+	set := c.set(line)
+	for i := range set {
+		l := &set[i]
+		if c.valid(l) && l.tag == line {
 			c.tick++
 			l.lru = c.tick
 			return l
@@ -141,13 +199,14 @@ func (c *cache) install(line Addr, st lineState) (victim Addr, victimState lineS
 	var lru *cacheLine
 	for i := range set {
 		l := &set[i]
-		if l.state != invalid && l.tag == line {
+		if !c.valid(l) {
+			lru = l
+			continue
+		}
+		if l.tag == line {
 			l.state = st
 			l.lru = c.tick
 			return 0, invalid
-		}
-		if l.state == invalid {
-			lru = l
 		}
 	}
 	if lru == nil {
@@ -162,14 +221,16 @@ func (c *cache) install(line Addr, st lineState) (victim Addr, victimState lineS
 	lru.tag = line
 	lru.state = st
 	lru.lru = c.tick
+	lru.gen = c.gen
 	return victim, victimState
 }
 
 // drop removes line if present and returns its previous state.
 func (c *cache) drop(line Addr) lineState {
-	for i := range c.set(line) {
-		l := &c.set(line)[i]
-		if l.state != invalid && l.tag == line {
+	set := c.set(line)
+	for i := range set {
+		l := &set[i]
+		if c.valid(l) && l.tag == line {
 			st := l.state
 			l.state = invalid
 			return st
@@ -204,6 +265,31 @@ type System struct {
 	// so demand reads join pending prefetches instead of duplicating
 	// them. Allocated lazily per processor.
 	inflight []map[Addr]*sim.Future
+
+	// ctrlPool recycles the message-plus-adapter pair used for remote
+	// coherence sends; the protocol ships millions of them per run.
+	ctrlPool []*ctrlMsg
+}
+
+// ctrlMsg is one in-flight coherence message: the wire message and the
+// adapter that charges controller handling at the receiver before
+// invoking the protocol continuation. fn is the bound deliver method,
+// built once when the adapter is created.
+type ctrlMsg struct {
+	s      *System
+	m      network.Message
+	arrive func()
+	fn     func(*network.Message)
+}
+
+// deliver fires at the receiving controller: the adapter is returned to
+// the pool first (locals keep its state), so the continuation may itself
+// send and reuse it immediately.
+func (c *ctrlMsg) deliver(*network.Message) {
+	s, arrive := c.s, c.arrive
+	c.arrive = nil
+	s.ctrlPool = append(s.ctrlPool, c)
+	s.eng.Schedule(s.p.CtrlCycles, arrive)
 }
 
 // New creates the substrate for the given machine and network.
@@ -242,6 +328,18 @@ func (s *System) Alloc(home int, size uint64) Addr {
 		panic("mem: heap exhausted")
 	}
 	return Addr(uint64(home)<<homeShift | base)
+}
+
+// Release returns the per-processor cache metadata to the process-wide
+// pool. Call it when the experiment that built the system is done with
+// it; the system must not be used afterwards. Releasing twice is a no-op.
+func (s *System) Release() {
+	if s == nil {
+		return
+	}
+	for _, c := range s.caches {
+		c.release()
+	}
 }
 
 // Collector returns the stats sink.
@@ -295,9 +393,20 @@ func (s *System) send(src, dst int, dataWords uint64, arrive func()) {
 		s.eng.Schedule(1+s.p.CtrlCycles/4, arrive)
 		return
 	}
-	payload := make([]uint32, s.p.AddrWords+dataWords)
-	s.net.Send(&network.Message{Src: src, Dst: dst, Kind: "coherence", Payload: payload},
-		func(*network.Message) { s.eng.Schedule(s.p.CtrlCycles, arrive) })
+	var c *ctrlMsg
+	if k := len(s.ctrlPool); k > 0 {
+		c = s.ctrlPool[k-1]
+		s.ctrlPool[k-1] = nil
+		s.ctrlPool = s.ctrlPool[:k-1]
+	} else {
+		c = &ctrlMsg{s: s}
+		c.fn = c.deliver
+	}
+	// The receiver never reads coherence payloads, so the address and
+	// data words are charged via ExtraWords instead of a live slice.
+	c.m = network.Message{Src: src, Dst: dst, Kind: "coherence", ExtraWords: s.p.AddrWords + dataWords}
+	c.arrive = arrive
+	s.net.Send(&c.m, c.fn)
 }
 
 // Read performs a shared-memory load of size bytes at addr by thread th
@@ -343,7 +452,9 @@ func (s *System) accessLine(th *sim.Thread, proc int, line Addr, write bool) {
 		}
 	}
 	s.col.CacheMisses++
-	s.eng.Tracef("miss", "p%d line %#x write=%v", proc, uint64(line), write)
+	if s.eng.Tracing() {
+		s.eng.Tracef("miss", "p%d line %#x write=%v", proc, uint64(line), write)
+	}
 	if !write && s.joinInflight(th, proc, line) {
 		// The line was already on its way (prefetch); it is installed by
 		// the fill helper once the wait returns.

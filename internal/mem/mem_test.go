@@ -326,7 +326,7 @@ func TestCacheLRUWithinSet(t *testing.T) {
 	p := DefaultParams()
 	p.Ways = 4 // LRU only matters in associative configurations
 	c := newCache(p)
-	sets := uint64(len(c.sets))
+	sets := uint64(len(c.lines) / c.ways)
 	stride := Addr(sets * LineBytes)
 	// Fill one set (4 ways), touch line 0 to refresh it, then install a
 	// 5th line: the victim must be line 1 (LRU), not line 0.

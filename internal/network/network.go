@@ -72,10 +72,16 @@ type Message struct {
 	Src, Dst int
 	Kind     string   // accounting label ("rpc", "migrate", "coherence", ...)
 	Payload  []uint32 // wire words (header charged separately)
+
+	// ExtraWords models payload words that are charged on the wire but
+	// never materialized: protocol messages whose content the receiver
+	// ignores (the cache-coherence traffic) set this instead of
+	// allocating a Payload slice.
+	ExtraWords uint64
 }
 
 // Words returns the total wire size of the message including header.
-func (m *Message) Words() uint64 { return HeaderWords + uint64(len(m.Payload)) }
+func (m *Message) Words() uint64 { return HeaderWords + uint64(len(m.Payload)) + m.ExtraWords }
 
 // Network delivers messages with a latency function and counts traffic.
 type Network struct {
@@ -93,6 +99,35 @@ type Network struct {
 
 	// Delivered counts messages that have arrived.
 	Delivered uint64
+
+	// pool recycles delivery adapters so a Send costs no allocation for
+	// the in-flight bookkeeping (the simulator processes millions of
+	// messages per experiment).
+	pool []*delivery
+}
+
+// delivery carries one in-flight message from Send to its arrival
+// callback. The fn field is the adapter's bound method value, built once
+// when the adapter is created and reused for every flight afterwards.
+type delivery struct {
+	n      *Network
+	m      *Message
+	arrive func(*Message)
+	fn     func()
+}
+
+// run fires at arrival time: it returns the adapter to the pool first
+// (the saved locals keep the flight's state), so arrive may itself Send
+// and reuse this adapter immediately.
+func (d *delivery) run() {
+	n, m, arrive := d.n, d.m, d.arrive
+	d.m, d.arrive = nil, nil
+	n.pool = append(n.pool, d)
+	n.Delivered++
+	if n.eng.Tracing() {
+		n.eng.Tracef("deliver", "%s p%d->p%d", m.Kind, m.Src, m.Dst)
+	}
+	arrive(m)
 }
 
 // New returns a network over topology topo, reporting into col.
@@ -120,10 +155,18 @@ func (n *Network) Send(m *Message, arrive func(*Message)) {
 	n.col.CountMessage(m.Kind, words)
 	lat := n.Latency(m.Src, m.Dst, words)
 	n.col.AddCycles(stats.CatNetworkTransit, lat)
-	n.eng.Tracef("send", "%s p%d->p%d %dw", m.Kind, m.Src, m.Dst, words)
-	n.eng.Schedule(lat, func() {
-		n.Delivered++
-		n.eng.Tracef("deliver", "%s p%d->p%d", m.Kind, m.Src, m.Dst)
-		arrive(m)
-	})
+	if n.eng.Tracing() {
+		n.eng.Tracef("send", "%s p%d->p%d %dw", m.Kind, m.Src, m.Dst, words)
+	}
+	var d *delivery
+	if k := len(n.pool); k > 0 {
+		d = n.pool[k-1]
+		n.pool[k-1] = nil
+		n.pool = n.pool[:k-1]
+	} else {
+		d = &delivery{n: n}
+		d.fn = d.run
+	}
+	d.m, d.arrive = m, arrive
+	n.eng.Schedule(lat, d.fn)
 }

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,18 +22,30 @@ type Time = uint64
 
 // Event is a scheduled callback. Events with equal times fire in the order
 // they were scheduled.
+//
+// Event objects are pooled: once an event has fired (or been cancelled)
+// the engine recycles it for a later Schedule/At call. Retain the handle
+// only while the event is pending.
 type Event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	eng *Engine
 
-	index     int // heap index, -1 when not queued
-	cancelled bool
+	index int // heap index, -1 when not queued (fired, cancelled, or pooled)
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired is a no-op.
-func (ev *Event) Cancel() { ev.cancelled = true }
+// Cancel removes a pending event from the heap so it never fires.
+// Cancelling an event that has already fired or been cancelled is a no-op;
+// do not call Cancel on a handle kept across the event's firing, because
+// the engine may have recycled the object for an unrelated event by then.
+func (ev *Event) Cancel() {
+	if ev.index < 0 {
+		return
+	}
+	ev.eng.heap.remove(ev.index)
+	ev.eng.release(ev)
+}
 
 // Engine is the simulation core: a clock, an event heap, and the set of
 // live simulated threads.
@@ -42,6 +53,7 @@ type Engine struct {
 	now  Time
 	seq  uint64
 	heap eventHeap
+	pool []*Event // free list of fired/cancelled events, for reuse by At
 
 	current *Thread
 	handoff chan struct{} // a running thread signals here when it parks or exits
@@ -49,10 +61,16 @@ type Engine struct {
 	liveThreads int
 	allThreads  map[*Thread]struct{}
 	nextTID     int
+	threadPool  []*Thread // exited threads (goroutine parked in loop), for reuse by Spawn
 
 	rng     *PRNG
 	stopped bool
 	tracer  *Tracer
+
+	// limited/runLimit are set while RunUntil is draining events, so the
+	// thread fast path cannot advance the clock past the limit.
+	limited  bool
+	runLimit Time
 
 	// MaxEvents bounds the number of events processed by Run as a runaway
 	// guard; zero means no bound.
@@ -92,9 +110,23 @@ func (e *Engine) At(at Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.heap, ev)
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, eng: e, index: -1}
+	}
+	e.heap.push(ev)
 	return ev
+}
+
+// release returns a fired or cancelled event to the free list.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	e.pool = append(e.pool, ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -111,24 +143,36 @@ func (d *DeadlockError) Error() string {
 		d.Now, len(d.Blocked), strings.Join(d.Blocked, ", "))
 }
 
+// MaxEventsError reports that the engine processed Engine.MaxEvents events
+// without the heap draining — the runaway guard tripped.
+type MaxEventsError struct {
+	Max uint64
+	Now Time
+}
+
+func (m *MaxEventsError) Error() string {
+	return fmt.Sprintf("sim: exceeded MaxEvents=%d at cycle %d", m.Max, m.Now)
+}
+
 // Run processes events until the heap is empty or Stop is called. It
 // returns a *DeadlockError if the heap drains while simulated threads are
-// still parked (they can never be woken again), and nil otherwise.
+// still parked (they can never be woken again), a *MaxEventsError if the
+// runaway guard trips, and nil otherwise.
 func (e *Engine) Run() error {
+	defer e.drainThreadPool()
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		ev := heap.Pop(&e.heap).(*Event)
-		if ev.cancelled {
-			continue
-		}
+		ev := e.heap.pop()
 		if ev.at < e.now {
 			panic("sim: event heap time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.release(ev)
+		fn()
 		e.processed++
 		if e.MaxEvents != 0 && e.processed >= e.MaxEvents {
-			return fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d", e.MaxEvents, e.now)
+			return &MaxEventsError{Max: e.MaxEvents, Now: e.now}
 		}
 	}
 	if !e.stopped && e.liveThreads > 0 {
@@ -145,23 +189,60 @@ func (e *Engine) Run() error {
 // RunUntil processes events with timestamps <= limit, then returns. Events
 // beyond the limit stay queued; the clock is advanced to limit.
 func (e *Engine) RunUntil(limit Time) error {
+	defer e.drainThreadPool()
 	e.stopped = false
+	e.limited, e.runLimit = true, limit
+	defer func() { e.limited = false }()
 	for len(e.heap) > 0 && !e.stopped && e.heap[0].at <= limit {
-		ev := heap.Pop(&e.heap).(*Event)
-		if ev.cancelled {
-			continue
+		ev := e.heap.pop()
+		if ev.at < e.now {
+			panic("sim: event heap time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.release(ev)
+		fn()
 		e.processed++
 		if e.MaxEvents != 0 && e.processed >= e.MaxEvents {
-			return fmt.Errorf("sim: exceeded MaxEvents=%d at cycle %d", e.MaxEvents, e.now)
+			return &MaxEventsError{Max: e.MaxEvents, Now: e.now}
 		}
 	}
 	if e.now < limit {
 		e.now = limit
 	}
 	return nil
+}
+
+// fastAdvance reports whether the clock can jump straight to at without
+// dispatching any other event, and performs the jump when it can. A
+// running thread uses this to skip the schedule-park-resume round trip
+// (two channel handoffs) when its own wakeup would be the very next event
+// processed: the observable execution order is exactly the slow path's.
+func (e *Engine) fastAdvance(at Time) bool {
+	if e.stopped || (e.MaxEvents != 0 && e.processed >= e.MaxEvents) {
+		return false
+	}
+	if e.limited && at > e.runLimit {
+		return false
+	}
+	if len(e.heap) > 0 && e.heap[0].at <= at {
+		return false
+	}
+	e.now = at
+	e.processed++
+	return true
+}
+
+// drainThreadPool terminates the goroutines of pooled (exited) threads.
+// Run calls it on exit so an abandoned engine does not pin parked
+// goroutines; a pooled thread has no pending body, so the bare wakeup
+// makes its loop return without a handoff.
+func (e *Engine) drainThreadPool() {
+	for i, th := range e.threadPool {
+		th.resume <- struct{}{}
+		e.threadPool[i] = nil
+	}
+	e.threadPool = e.threadPool[:0]
 }
 
 // resume hands control to th and blocks until it parks or exits.
@@ -173,32 +254,91 @@ func (e *Engine) resume(th *Thread) {
 	e.current = prev
 }
 
-// eventHeap implements container/heap ordered by (at, seq).
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than built on container/heap: the sift loops below run for every
+// event the simulator processes, and the interface-based version's
+// indirect Less/Swap calls were a measurable share of total run time.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+
+func (h *eventHeap) push(ev *Event) {
 	ev.index = len(*h)
 	*h = append(*h, ev)
+	h.up(ev.index)
 }
-func (h *eventHeap) Pop() any {
+
+func (h *eventHeap) pop() *Event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old[0].index = 0
+	ev := old[n]
+	old[n] = nil
 	ev.index = -1
-	*h = old[:n-1]
+	*h = old[:n]
+	if n > 1 {
+		h.down(0)
+	}
 	return ev
+}
+
+// remove deletes the event at index i, preserving heap order.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old[i], old[n] = old[n], old[i]
+		old[i].index = i
+	}
+	old[n].index = -1
+	old[n] = nil
+	*h = old[:n]
+	if i != n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].index = i
+		h[parent].index = parent
+		i = parent
+	}
+}
+
+// down sifts the event at i toward the leaves, reporting whether it moved.
+func (h eventHeap) down(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		next := left
+		if right := left + 1; right < n && h.less(right, left) {
+			next = right
+		}
+		if !h.less(next, i) {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		h[i].index = i
+		h[next].index = next
+		i = next
+	}
+	return i > start
 }

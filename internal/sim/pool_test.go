@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestEventPoolReusesFiredEvents asserts that an event object is
+// recycled for a later Schedule once it has fired, and that the recycled
+// event carries the new callback, not the old one.
+func TestEventPoolReusesFiredEvents(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	first := e.Schedule(10, func() { fired = append(fired, "first") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	second := e.Schedule(10, func() { fired = append(fired, "second") })
+	if first != second {
+		t.Error("fired event was not recycled by the next Schedule")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "first" || fired[1] != "second" {
+		t.Fatalf("fired = %v, want [first second]", fired)
+	}
+}
+
+// TestEventPoolNeverResurrectsCancelledEvent asserts that cancelling an
+// event removes it from the heap eagerly and that reusing its object for
+// a new event cannot fire the cancelled callback.
+func TestEventPoolNeverResurrectsCancelledEvent(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	dead := e.Schedule(10, func() { fired = append(fired, "dead") })
+	e.Schedule(20, func() { fired = append(fired, "live") })
+	dead.Cancel()
+	if len(e.heap) != 1 {
+		t.Fatalf("heap holds %d events after Cancel, want 1 (eager removal)", len(e.heap))
+	}
+	dead.Cancel() // second cancel of the same pending handle is a no-op
+	if len(e.heap) != 1 {
+		t.Fatalf("double Cancel removed a live event: heap len %d", len(e.heap))
+	}
+	reused := e.Schedule(30, func() { fired = append(fired, "reused") })
+	if reused != dead {
+		t.Error("cancelled event was not recycled by the next Schedule")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "live" || fired[1] != "reused" {
+		t.Fatalf("fired = %v, want [live reused] and never the cancelled fn", fired)
+	}
+}
+
+// TestMaxEventsTypedError asserts both run loops surface the runaway
+// guard as a *MaxEventsError.
+func TestMaxEventsTypedError(t *testing.T) {
+	for _, until := range []Time{0, 100} {
+		e := NewEngine(1)
+		e.MaxEvents = 5
+		var reschedule func()
+		reschedule = func() { e.Schedule(1, reschedule) }
+		e.Schedule(1, reschedule)
+		var err error
+		if until == 0 {
+			err = e.Run()
+		} else {
+			err = e.RunUntil(until)
+		}
+		var me *MaxEventsError
+		if !errors.As(err, &me) {
+			t.Fatalf("RunUntil=%d: got %v, want *MaxEventsError", until, err)
+		}
+		if me.Max != 5 {
+			t.Errorf("MaxEventsError.Max = %d, want 5", me.Max)
+		}
+	}
+}
+
+// TestMaxEventsCatchesFastPathLoop asserts the runaway guard still trips
+// when a thread spins on fast-path sleeps that never re-enter the event
+// loop.
+func TestMaxEventsCatchesFastPathLoop(t *testing.T) {
+	e := NewEngine(1)
+	e.MaxEvents = 100
+	e.Spawn("spinner", 0, func(th *Thread) {
+		for {
+			th.Sleep(1)
+		}
+	})
+	var me *MaxEventsError
+	if err := e.Run(); !errors.As(err, &me) {
+		t.Fatalf("got %v, want *MaxEventsError", err)
+	}
+}
+
+// TestRunUntilHoldsFastPathAtLimit asserts a sleeping thread cannot
+// fast-advance the clock past a RunUntil limit: its wakeup stays queued
+// for a later Run.
+func TestRunUntilHoldsFastPathAtLimit(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	e.Spawn("s", 0, func(th *Thread) {
+		th.Sleep(1000)
+		woke = th.Now()
+	})
+	if err := e.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 0 {
+		t.Fatalf("thread woke at %d inside RunUntil(100)", woke)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %d after RunUntil(100)", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 1000 {
+		t.Fatalf("thread woke at %d, want 1000", woke)
+	}
+}
+
+// TestSleepFastPathSkipsHeap asserts an uncontended sleep advances the
+// clock without queueing an event.
+func TestSleepFastPathSkipsHeap(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	var heapLen int
+	e.Spawn("t", 0, func(th *Thread) {
+		th.Sleep(250)
+		heapLen = len(e.heap)
+		wake = th.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 250 {
+		t.Fatalf("woke at %d, want 250", wake)
+	}
+	if heapLen != 0 {
+		t.Fatalf("fast-path sleep queued %d event(s)", heapLen)
+	}
+}
+
+// TestYieldRunsBehindQueuedEvents asserts Yield still defers to an event
+// already queued at the current time (the slow path), while remaining a
+// no-op when nothing else is due.
+func TestYieldRunsBehindQueuedEvents(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("t", 0, func(th *Thread) {
+		e.Schedule(0, func() { order = append(order, "event") })
+		th.Yield()
+		order = append(order, "thread")
+		th.Yield() // heap now empty: fast path, stays running
+		order = append(order, "after")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"event", "thread", "after"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSpawnFromDyingThread is the regression test for the thread-exit
+// path: a body whose final action spawns another thread must leave the
+// engine's current-thread bookkeeping consistent, and the child must
+// still run.
+func TestSpawnFromDyingThread(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("parent", 0, func(th *Thread) {
+		order = append(order, "parent")
+		e.Spawn("child", 0, func(*Thread) {
+			order = append(order, "child")
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "parent" || order[1] != "child" {
+		t.Fatalf("order = %v, want [parent child]", order)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("live threads = %d after Run", e.Live())
+	}
+	if e.current != nil {
+		t.Fatal("Engine.current not cleared after all threads exited")
+	}
+}
+
+// TestExecFastPathKeepsSerialization asserts the Exec fast path does not
+// break processor-queueing semantics when other events are due first.
+func TestExecFastPathKeepsSerialization(t *testing.T) {
+	e := NewEngine(1)
+	m := NewMachine(e, 1)
+	p := m.Proc(0)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", 0, func(th *Thread) {
+			th.Exec(p, 100)
+			ends = append(ends, th.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}

@@ -22,6 +22,11 @@ func NewPRNG(seed uint64) *PRNG {
 	return p
 }
 
+// State returns the generator's internal state. Two generators with
+// equal state produce identical streams; callers use this to memoize
+// derived values (e.g. generated workloads) keyed by the exact stream.
+func (p *PRNG) State() [4]uint64 { return p.s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

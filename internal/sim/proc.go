@@ -9,9 +9,10 @@ import "fmt"
 // B-tree root bottleneck, where activations arrive at the root's processor
 // faster than it can retire them).
 type Proc struct {
-	eng  *Engine
-	id   int
-	free Time // the cycle at which the processor next becomes idle
+	eng       *Engine
+	id        int
+	free      Time   // the cycle at which the processor next becomes idle
+	execWhere string // park label for Exec, built once
 
 	// Busy accumulates total busy cycles for utilization reporting.
 	Busy Time
@@ -32,7 +33,7 @@ func NewMachine(e *Engine, n int) *Machine {
 	}
 	m := &Machine{eng: e, procs: make([]*Proc, n)}
 	for i := range m.procs {
-		m.procs[i] = &Proc{eng: e, id: i}
+		m.procs[i] = &Proc{eng: e, id: i, execWhere: fmt.Sprintf("exec(p%d)", i)}
 	}
 	return m
 }
@@ -81,14 +82,18 @@ func (p *Proc) reserve(cycles Time) Time {
 
 // Exec runs cycles of work for thread th on processor p, blocking the
 // thread until the work completes (including any queueing delay while the
-// processor drains earlier segments).
+// processor drains earlier segments). Like Sleep, it advances the clock
+// directly when no other event fires at or before the completion time.
 func (th *Thread) Exec(p *Proc, cycles Time) {
 	if cycles == 0 {
 		return
 	}
 	end := p.reserve(cycles)
-	th.eng.At(end, func() { th.eng.resume(th) })
-	th.park(fmt.Sprintf("exec(p%d)", p.id))
+	if th.eng.fastAdvance(end) {
+		return
+	}
+	th.eng.At(end, th.wake)
+	th.park(p.execWhere)
 }
 
 // ExecAsync books cycles of work on p without a thread attached (e.g. a

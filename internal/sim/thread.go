@@ -6,11 +6,18 @@ import "fmt"
 // package, per the paper's footnote 1 — heavier than TAM threads). Each
 // Thread is backed by a goroutine, but the engine guarantees only one runs
 // at a time, so thread bodies may freely touch shared simulation state.
+//
+// Thread objects (and their goroutines) are pooled: once a body returns,
+// the engine recycles the thread for a later Spawn. Retain the handle
+// only while the thread is live; an exited thread's object may already
+// be running an unrelated body.
 type Thread struct {
 	eng    *Engine
 	id     int
 	name   string
+	body   func(*Thread) // pending body; nil tells loop to terminate
 	resume chan struct{}
+	wake   func() // cached resume callback, so wakeups allocate no closure
 	state  threadState
 	where  string // description of the blocking site, for deadlock reports
 }
@@ -29,25 +36,65 @@ const (
 // with the simulation through the Thread it receives.
 func (e *Engine) Spawn(name string, delay Time, body func(*Thread)) *Thread {
 	e.nextTID++
-	th := &Thread{
-		eng:    e,
-		id:     e.nextTID,
-		name:   name,
-		resume: make(chan struct{}),
+	var th *Thread
+	if n := len(e.threadPool); n > 0 {
+		th = e.threadPool[n-1]
+		e.threadPool[n-1] = nil
+		e.threadPool = e.threadPool[:n-1]
+		th.id, th.name, th.body = e.nextTID, name, body
+		th.state, th.where = threadRunnable, ""
+	} else {
+		th = &Thread{
+			eng:    e,
+			id:     e.nextTID,
+			name:   name,
+			body:   body,
+			resume: make(chan struct{}),
+		}
+		th.wake = func() { e.resume(th) }
+		go th.loop()
 	}
 	e.liveThreads++
 	e.allThreads[th] = struct{}{}
-	go func() {
-		<-th.resume // wait for first dispatch
+	e.Schedule(delay, th.wake)
+	return th
+}
+
+// loop is the goroutine behind a Thread for its whole pooled lifetime:
+// run the pending body, retire into the pool, block until the engine
+// hands it a new body, repeat. A wakeup with no pending body is the
+// engine's drain signal and terminates the goroutine.
+func (th *Thread) loop() {
+	for {
+		<-th.resume // wait for first dispatch of the current body
+		body := th.body
+		if body == nil {
+			return
+		}
+		th.body = nil
 		th.state = threadRunning
 		body(th)
-		th.state = threadDone
-		e.liveThreads--
-		delete(e.allThreads, th)
-		e.handoff <- struct{}{}
-	}()
-	e.Schedule(delay, func() { e.resume(th) })
-	return th
+		th.exit()
+	}
+}
+
+// exit retires the thread and hands control back to the engine. It
+// mirrors park's bookkeeping: the thread must be the engine's current
+// runner, and Engine.current is cleared rather than left pointing at a
+// dead thread during the handoff window. The object goes back to the
+// spawn pool; its goroutine survives in loop.
+func (th *Thread) exit() {
+	e := th.eng
+	if e.current != th {
+		panic("sim: thread exiting while not the current runner")
+	}
+	th.state = threadDone
+	th.where = "exited"
+	e.liveThreads--
+	delete(e.allThreads, th)
+	e.threadPool = append(e.threadPool, th)
+	e.current = nil
+	e.handoff <- struct{}{}
 }
 
 // Engine returns the engine this thread belongs to.
@@ -89,27 +136,35 @@ func (th *Thread) Park(where string) { th.park(where) }
 // called for a thread that is parked (or about to park within the current
 // event); the engine's single-runner discipline makes this race-free.
 func (th *Thread) Unpark() {
-	th.eng.Schedule(0, func() { th.eng.resume(th) })
+	th.eng.Schedule(0, th.wake)
 }
 
 // UnparkAt schedules th to resume after delay cycles.
 func (th *Thread) UnparkAt(delay Time) {
-	th.eng.Schedule(delay, func() { th.eng.resume(th) })
+	th.eng.Schedule(delay, th.wake)
 }
 
 // Sleep advances the thread's virtual time by d cycles without occupying
-// any processor (used for "think time" in the paper's workloads).
+// any processor (used for "think time" in the paper's workloads). When no
+// other event fires at or before the wakeup time, the thread advances the
+// clock itself and keeps running, skipping the park/resume handoff.
 func (th *Thread) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	th.eng.Schedule(d, func() { th.eng.resume(th) })
+	if th.eng.fastAdvance(th.eng.now + d) {
+		return
+	}
+	th.eng.Schedule(d, th.wake)
 	th.park("sleep")
 }
 
 // Yield reschedules the thread at the current time behind already-queued
-// events.
+// events. When no event is queued at the current time, it is a no-op.
 func (th *Thread) Yield() {
-	th.eng.Schedule(0, func() { th.eng.resume(th) })
+	if th.eng.fastAdvance(th.eng.now) {
+		return
+	}
+	th.eng.Schedule(0, th.wake)
 	th.park("yield")
 }
