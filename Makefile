@@ -1,12 +1,18 @@
 # make check is the CI gate: vet, build, tests, the race detector (the
-# harness worker pool is real host-side concurrency), and a quick
-# parallel smoke run of the full evaluation suite.
+# harness worker pool is real host-side concurrency), the fast-path A/B
+# identity test, a quick parallel smoke run of the full evaluation
+# suite, and a benchdiff smoke against the committed baseline report.
 
 GO ?= go
 
-.PHONY: check vet build test race smoke bench
+# Committed full-scale benchmark reports, oldest first; benchdiff-smoke
+# compares the two most recent.
+BENCH_BASELINE := BENCH_2026-08-06.json
+BENCH_CURRENT  := BENCH_2026-08-06-fastpath.json
 
-check: vet build test race smoke
+.PHONY: check vet build test race ab-identity smoke benchdiff-smoke bench bench-json
+
+check: vet build test race ab-identity smoke benchdiff-smoke
 	@echo "check: all green"
 
 vet:
@@ -21,11 +27,32 @@ test:
 race:
 	$(GO) test -race ./...
 
+# ab-identity re-runs just the fast-path A/B contracts by name so a CI
+# log shows them explicitly: every rendered table and every simulated
+# metric must be identical with the inline fast paths on and off.
+ab-identity:
+	$(GO) test ./internal/harness/ -run TestFastPathABIdentity -count=1
+	$(GO) test ./internal/mem/ -run TestFastPathCollectorIdentity -count=1
+	@echo "ab-identity: fast paths are observationally equivalent"
+
 smoke:
 	$(GO) run ./cmd/paperfigs -exp all -quick -workers 4 > /dev/null
 	@echo "smoke: paperfigs -exp all -quick -workers 4 ok"
+
+# benchdiff-smoke exercises the diff tool against the committed reports.
+# No -threshold: recorded wall clocks are from different commits of the
+# simulator, so this gates only on the tool and report format working.
+benchdiff-smoke:
+	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) $(BENCH_CURRENT) > /dev/null
+	@echo "benchdiff-smoke: $(BENCH_BASELINE) vs $(BENCH_CURRENT) ok"
 
 # bench regenerates the suite benchmarks (quick scale) with allocation
 # statistics; see BENCH_*.json for recorded full-scale runs.
 bench:
 	$(GO) test -bench BenchmarkSuite -benchmem -run '^$$' .
+
+# bench-json regenerates a full-scale benchmark report; rename and
+# commit it alongside the existing BENCH_*.json files, then point
+# BENCH_CURRENT at it.
+bench-json:
+	$(GO) run ./cmd/paperfigs -exp all -workers 4 -bench-json BENCH_new.json

@@ -1,0 +1,132 @@
+// Command benchdiff compares two benchmark reports written by
+// paperfigs -bench-json and prints per-experiment wall-clock and
+// allocation deltas.
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] old.json new.json
+//
+// Entries are matched by (experiment, workers). With -threshold set,
+// benchdiff exits 1 if any matched experiment's wall clock regressed by
+// more than PCT percent — suitable as a CI gate. Wall-clock deltas on
+// sub-millisecond entries are noise, so the gate only considers entries
+// whose baseline is at least 50 ms.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	Experiment string  `json:"experiment"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	FastHits   uint64  `json:"fast_hits"`
+	SlowMisses uint64  `json:"slow_misses"`
+}
+
+type report struct {
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go_version"`
+	Quick       bool    `json:"quick"`
+	Experiments []entry `json:"experiments"`
+}
+
+// gateFloorMS is the baseline wall clock below which the threshold gate
+// ignores an entry: timing jitter on tiny runs dwarfs any real change.
+const gateFloorMS = 50
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "exit 1 if any wall clock regresses by more than this percent (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if oldRep.Quick != newRep.Quick {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: comparing quick=%v against quick=%v\n",
+			oldRep.Quick, newRep.Quick)
+	}
+
+	type key struct {
+		exp     string
+		workers int
+	}
+	oldBy := make(map[key]entry, len(oldRep.Experiments))
+	for _, e := range oldRep.Experiments {
+		oldBy[key{e.Experiment, e.Workers}] = e
+	}
+
+	fmt.Printf("%-12s %3s  %10s %10s %8s  %12s %8s\n",
+		"experiment", "w", "old ms", "new ms", "wall", "new allocs", "allocs")
+	regressed := false
+	matched := 0
+	for _, n := range newRep.Experiments {
+		o, ok := oldBy[key{n.Experiment, n.Workers}]
+		if !ok {
+			fmt.Printf("%-12s %3d  %10s %10.1f %8s  %12d %8s\n",
+				n.Experiment, n.Workers, "-", n.WallMS, "new", n.Allocs, "new")
+			continue
+		}
+		matched++
+		delete(oldBy, key{n.Experiment, n.Workers})
+		wallPct := pctDelta(o.WallMS, n.WallMS)
+		allocPct := pctDelta(float64(o.Allocs), float64(n.Allocs))
+		fmt.Printf("%-12s %3d  %10.1f %10.1f %+7.1f%%  %12d %+7.1f%%\n",
+			n.Experiment, n.Workers, o.WallMS, n.WallMS, wallPct, n.Allocs, allocPct)
+		if *threshold > 0 && o.WallMS >= gateFloorMS && wallPct > *threshold {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s workers=%d wall clock regressed %.1f%% (limit %.1f%%)\n",
+				n.Experiment, n.Workers, wallPct, *threshold)
+			regressed = true
+		}
+	}
+	for k := range oldBy {
+		fmt.Printf("%-12s %3d  entry missing from new report\n", k.exp, k.workers)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no experiments in common")
+		os.Exit(2)
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Experiments) == 0 {
+		return r, fmt.Errorf("%s: no experiments in report", path)
+	}
+	return r, nil
+}
+
+// pctDelta returns the percent change from old to new (positive =
+// regression for costs like wall clock and allocations).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}

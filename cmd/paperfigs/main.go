@@ -5,12 +5,19 @@
 //
 //	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig]
 //	          [-quick] [-seed N] [-format text|md] [-workers N] [-bench-json out.json]
+//	          [-profile] [-cpuprofile out.pb] [-memprofile out.pb] [-fastpath=false]
 //
 // Independent simulation jobs run on a pool of -workers host goroutines
 // (default: one per CPU); the rendered tables are byte-identical for any
 // worker count. -bench-json runs each selected experiment at workers=1
 // and at -workers, verifies the outputs match, and writes wall-clock +
-// allocation statistics to the given file.
+// allocation + fast-path statistics to the given file.
+//
+// -profile prints per-subsystem host-time counters (shared-memory fast
+// and slow paths, network sends, event-heap pushes) to stderr after the
+// run; -cpuprofile/-memprofile write standard pprof profiles. -fastpath
+// =false forces every memory access through the event-driven protocol —
+// the rendered tables must not change, only the host-side speed.
 package main
 
 import (
@@ -19,10 +26,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"compmig/internal/harness"
+	"compmig/internal/mem"
+	"compmig/internal/profile"
 )
 
 func main() {
@@ -32,7 +42,48 @@ func main() {
 	format := flag.String("format", "text", "output format: text or md")
 	workers := flag.Int("workers", 0, "worker goroutines for independent simulation jobs (0 = one per CPU, 1 = serial)")
 	benchJSON := flag.String("bench-json", "", "write wall-clock + allocation stats per experiment to this JSON file")
+	prof := flag.Bool("profile", false, "print per-subsystem host-time counters to stderr after the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
+	fastPath := flag.Bool("fastpath", true, "enable the shared-memory inline fast paths (disable for A/B checks)")
 	flag.Parse()
+
+	mem.SetFastPath(*fastPath)
+	if *prof {
+		profile.Enable(true)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+		if *prof {
+			fmt.Fprint(os.Stderr, profile.Report(nil))
+		}
+	}()
 
 	o := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 
@@ -63,12 +114,17 @@ func main() {
 }
 
 // benchEntry is one measured (experiment, workers) cell of the report.
+// FastHits counts line accesses completed by the shared-memory inline
+// fast paths (cache hits plus home-local misses); SlowMisses counts the
+// accesses that went through the event-driven protocol.
 type benchEntry struct {
 	Experiment string  `json:"experiment"`
 	Workers    int     `json:"workers"`
 	WallMS     float64 `json:"wall_ms"`
 	Allocs     uint64  `json:"allocs"`
 	AllocBytes uint64  `json:"alloc_bytes"`
+	FastHits   uint64  `json:"fast_hits"`
+	SlowMisses uint64  `json:"slow_misses"`
 	Tables     int     `json:"tables"`
 }
 
@@ -136,18 +192,33 @@ func serialSeed(seed uint64) uint64 {
 	return seed
 }
 
-// measure runs one experiment and samples wall clock and allocation
-// deltas around it.
+// measure runs one experiment and samples wall clock, allocation, and
+// fast-path counter deltas around it. The mem systems flush their
+// fast/slow access counts into the profile package on Release, which
+// every experiment defers, so snapshotting the profile counters brackets
+// the run exactly.
 func measure(id string, o harness.Options) (benchEntry, string, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	pBefore := profile.Snapshot()
 	start := time.Now()
 	tables, err := harness.Run(id, o)
 	wall := time.Since(start)
+	pAfter := profile.Snapshot()
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return benchEntry{}, "", err
+	}
+	var fastHits, slowMisses uint64
+	for i, s := range pAfter {
+		d := s.Count - pBefore[i].Count
+		switch s.Name {
+		case "mem.fast_hits", "mem.fast_local":
+			fastHits += d
+		case "mem.slow":
+			slowMisses += d
+		}
 	}
 	var b strings.Builder
 	for _, t := range tables {
@@ -163,6 +234,8 @@ func measure(id string, o harness.Options) (benchEntry, string, error) {
 		WallMS:     float64(wall.Microseconds()) / 1000,
 		Allocs:     after.Mallocs - before.Mallocs,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		FastHits:   fastHits,
+		SlowMisses: slowMisses,
 		Tables:     len(tables),
 	}, b.String(), nil
 }

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"compmig/internal/mem"
+)
+
+// TestFastPathABIdentity is the suite-level half of the tentpole's
+// correctness bar: every experiment rendered with the shared-memory
+// inline fast paths enabled must be byte-identical to the same
+// experiment with every access forced through the event-driven
+// protocol. The tables embed the simulated cycle counts and word
+// traffic, so identical bytes means identical simulated metrics.
+func TestFastPathABIdentity(t *testing.T) {
+	t.Cleanup(func() { mem.SetFastPath(true) })
+	render := func(id string, fast bool) string {
+		mem.SetFastPath(fast)
+		tabs, err := Run(id, quick)
+		if err != nil {
+			t.Fatalf("Run(%q, fastpath=%v): %v", id, fast, err)
+		}
+		var b strings.Builder
+		for _, tb := range tabs {
+			b.WriteString(tb.String())
+		}
+		return b.String()
+	}
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			on := render(id, true)
+			off := render(id, false)
+			if on != off {
+				t.Errorf("experiment %q renders differently with fast paths on vs off:\n--- on ---\n%s\n--- off ---\n%s",
+					id, on, off)
+			}
+		})
+	}
+}

@@ -19,8 +19,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"compmig/internal/network"
+	"compmig/internal/profile"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
 )
@@ -124,24 +127,61 @@ type cacheBacking struct {
 	gen   uint16
 }
 
-var backingPool sync.Pool
+// The backing free lists are sharded plain stacks rather than a
+// sync.Pool: the pool's GC clearing threw the 64KB blocks away between
+// sweep batches (alloc_bytes grew with worker count), and its per-P
+// caches are useless under GOMAXPROCS=1. Round-robin shard selection
+// spreads harness workers across locks; the per-shard cap bounds
+// process-wide retention.
+const (
+	backingShardCount = 8
+	backingShardCap   = 64
+)
+
+type backingShard struct {
+	mu   sync.Mutex
+	free []*cacheBacking
+}
+
+var (
+	backingShards [backingShardCount]backingShard
+	backingCursor atomic.Uint32
+)
 
 func getBacking(n int) *cacheBacking {
-	if v := backingPool.Get(); v != nil {
-		b := v.(*cacheBacking)
-		if len(b.lines) == n {
-			b.gen++
-			if b.gen == 0 {
-				// Generation counter wrapped: entries written 2^16 lives
-				// ago could collide with the new generation, so clear.
-				clear(b.lines)
-				b.gen = 1
-			}
-			return b
+	shard := &backingShards[backingCursor.Add(1)%backingShardCount]
+	shard.mu.Lock()
+	for k := len(shard.free) - 1; k >= 0; k-- {
+		b := shard.free[k]
+		if len(b.lines) != n {
+			continue
 		}
+		last := len(shard.free) - 1
+		shard.free[k] = shard.free[last]
+		shard.free[last] = nil
+		shard.free = shard.free[:last]
+		shard.mu.Unlock()
+		b.gen++
+		if b.gen == 0 {
+			// Generation counter wrapped: entries written 2^16 lives
+			// ago could collide with the new generation, so clear.
+			clear(b.lines)
+			b.gen = 1
+		}
+		return b
 	}
+	shard.mu.Unlock()
 	// Fresh zeroed lines carry gen 0, invisible under generation 1.
 	return &cacheBacking{lines: make([]cacheLine, n), gen: 1}
+}
+
+func putBacking(b *cacheBacking) {
+	shard := &backingShards[backingCursor.Add(1)%backingShardCount]
+	shard.mu.Lock()
+	if len(shard.free) < backingShardCap {
+		shard.free = append(shard.free, b)
+	}
+	shard.mu.Unlock()
 }
 
 func newCache(p Params) *cache {
@@ -160,7 +200,7 @@ func (c *cache) release() {
 	if c.back == nil {
 		return
 	}
-	backingPool.Put(c.back)
+	putBacking(c.back)
 	c.back = nil
 	c.lines = nil
 }
@@ -188,6 +228,41 @@ func (c *cache) lookup(line Addr) *cacheLine {
 		}
 	}
 	return nil
+}
+
+// peek reports whether line is present in a state sufficient for the
+// access (any valid state for reads, modified for writes) without
+// touching the LRU bookkeeping, so a declined fast path leaves the cache
+// exactly as an untried one.
+func (c *cache) peek(line Addr, write bool) bool {
+	set := c.set(line)
+	for i := range set {
+		l := &set[i]
+		if c.valid(l) && l.tag == line {
+			return !write || l.state == modified
+		}
+	}
+	return false
+}
+
+// victimState reports the state of the entry install(line, ...) would
+// evict, or invalid when installing would displace nothing (a free or
+// same-tag way exists). Like peek it is mutation-free.
+func (c *cache) victimState(line Addr) lineState {
+	set := c.set(line)
+	for i := range set {
+		l := &set[i]
+		if !c.valid(l) || l.tag == line {
+			return invalid
+		}
+	}
+	lru := &set[0]
+	for i := range set {
+		if set[i].lru < lru.lru {
+			lru = &set[i]
+		}
+	}
+	return lru.state
 }
 
 // install places line with the given state, returning the evicted victim
@@ -248,6 +323,24 @@ type dirEntry struct {
 	pending []func()
 }
 
+// fastPathOn controls whether newly created Systems take the inline fast
+// paths. It exists so tests can force every access through the
+// event-driven protocol and assert both modes produce identical
+// simulated results.
+var fastPathOn atomic.Bool
+
+func init() { fastPathOn.Store(true) }
+
+// SetFastPath enables or disables the inline fast paths for Systems
+// created afterwards; existing Systems keep the setting they were built
+// with. The fast paths never change simulated outcomes — only how much
+// host work it takes to compute them — so this is purely a testing and
+// debugging knob.
+func SetFastPath(on bool) { fastPathOn.Store(on) }
+
+// FastPathEnabled reports the current process-wide setting.
+func FastPathEnabled() bool { return fastPathOn.Load() }
+
 // System is the machine-wide shared-memory substrate.
 type System struct {
 	eng  *sim.Engine
@@ -255,6 +348,13 @@ type System struct {
 	net  *network.Network
 	col  *stats.Collector
 	p    Params
+	fast bool // snapshot of fastPathOn at creation
+
+	// Host-side profiling tallies (plain fields: a System is driven by
+	// one engine), flushed to the profile package on Release.
+	nFastHits  uint64 // line accesses satisfied by the inline all-hit path
+	nFastLocal uint64 // misses completed inline at the home module
+	nSlow      uint64 // line accesses through the event-driven protocol
 
 	caches  []*cache
 	modules []*sim.Proc // memory-module serial servers (not CPU procs)
@@ -269,6 +369,9 @@ type System struct {
 	// ctrlPool recycles the message-plus-adapter pair used for remote
 	// coherence sends; the protocol ships millions of them per run.
 	ctrlPool []*ctrlMsg
+
+	// txnPool recycles miss-transaction objects (see txn).
+	txnPool []*txn
 }
 
 // ctrlMsg is one in-flight coherence message: the wire message and the
@@ -282,20 +385,23 @@ type ctrlMsg struct {
 	fn     func(*network.Message)
 }
 
-// deliver fires at the receiving controller: the adapter is returned to
-// the pool first (locals keep its state), so the continuation may itself
-// send and reuse it immediately.
+// deliver fires at the receiving controller, after wire transit plus the
+// controller handling delay (folded into the delivery event by
+// SendAfter, so a coherence message costs one heap event, not two). The
+// adapter is returned to the pool first (locals keep its state), so the
+// continuation may itself send and reuse it immediately.
 func (c *ctrlMsg) deliver(*network.Message) {
 	s, arrive := c.s, c.arrive
 	c.arrive = nil
 	s.ctrlPool = append(s.ctrlPool, c)
-	s.eng.Schedule(s.p.CtrlCycles, arrive)
+	arrive()
 }
 
 // New creates the substrate for the given machine and network.
 func New(eng *sim.Engine, mach *sim.Machine, net *network.Network, col *stats.Collector, p Params) *System {
 	s := &System{
 		eng: eng, mach: mach, net: net, col: col, p: p,
+		fast:     fastPathOn.Load(),
 		caches:   make([]*cache, mach.N()),
 		modules:  make([]*sim.Proc, mach.N()),
 		dirs:     make([]map[Addr]*dirEntry, mach.N()),
@@ -337,9 +443,21 @@ func (s *System) Release() {
 	if s == nil {
 		return
 	}
+	if s.nFastHits|s.nFastLocal|s.nSlow != 0 {
+		profile.MemFastHits.Add(s.nFastHits)
+		profile.MemFastLocal.Add(s.nFastLocal)
+		profile.MemSlow.Add(s.nSlow)
+		s.nFastHits, s.nFastLocal, s.nSlow = 0, 0, 0
+	}
 	for _, c := range s.caches {
 		c.release()
 	}
+}
+
+// FastPathCounts returns this System's (fast hits, fast local misses,
+// slow accesses) tallies so far, at line-access granularity.
+func (s *System) FastPathCounts() (fastHits, fastLocal, slow uint64) {
+	return s.nFastHits, s.nFastLocal, s.nSlow
 }
 
 // Collector returns the stats sink.
@@ -406,7 +524,7 @@ func (s *System) send(src, dst int, dataWords uint64, arrive func()) {
 	// data words are charged via ExtraWords instead of a live slice.
 	c.m = network.Message{Src: src, Dst: dst, Kind: "coherence", ExtraWords: s.p.AddrWords + dataWords}
 	c.arrive = arrive
-	s.net.Send(&c.m, c.fn)
+	s.net.SendAfter(&c.m, s.p.CtrlCycles, c.fn)
 }
 
 // Read performs a shared-memory load of size bytes at addr by thread th
@@ -433,15 +551,144 @@ func (s *System) access(th *sim.Thread, proc int, addr Addr, size uint64, write 
 	}
 	first := lineOf(addr)
 	last := lineOf(addr + Addr(size) - 1)
+	if s.fast && s.fastAllHit(proc, first, last, write) {
+		return
+	}
 	for line := first; ; line += LineBytes {
-		s.accessLine(th, proc, line, write)
+		if !s.fast || !s.fastLocalMiss(proc, line, write) {
+			s.accessLine(th, proc, line, write)
+		}
 		if line == last {
 			break
 		}
 	}
 }
 
+// fastAllHit satisfies an access entirely from the local cache in one
+// clock jump: every covered line must already be present in a sufficient
+// state, and nothing else may be scheduled inside the access's charge
+// window (TryAdvance). Under those conditions it replicates the slow
+// path exactly — the same per-line lookup order (hence LRU tick
+// assignment), hit counts, processor occupancy, and completion time —
+// with no Future, no directory lock, and no event-heap traffic.
+func (s *System) fastAllHit(proc int, first, last Addr, write bool) bool {
+	if s.p.HitCycles == 0 {
+		return false
+	}
+	c := s.caches[proc]
+	n := uint64(0)
+	for line := first; ; line += LineBytes {
+		if !c.peek(line, write) {
+			return false
+		}
+		n++
+		if line == last {
+			break
+		}
+	}
+	cpu := s.mach.Proc(proc)
+	now := s.eng.Now()
+	start := cpu.FreeAt()
+	if start < now {
+		start = now
+	}
+	if !s.eng.TryAdvance(start + n*s.p.HitCycles) {
+		return false
+	}
+	cpu.ReserveAt(now, n*s.p.HitCycles)
+	for line := first; ; line += LineBytes {
+		c.lookup(line)
+		if line == last {
+			break
+		}
+	}
+	s.col.CacheHits += n
+	s.nFastHits += n
+	return true
+}
+
+// fastLocalMiss completes a miss whose home module is on the accessing
+// processor inline. When the directory entry is idle with no conflicting
+// remote copies and nothing else is scheduled before the transaction
+// would complete, the whole exchange — tag probe, self-addressed request,
+// directory + DRAM occupancy, local reply, line install — collapses into
+// synchronous bookkeeping plus one clock jump with identical statistics
+// and occupancy accounting. It reports false (leaving no trace of the
+// attempt) whenever any precondition fails; the event-driven path then
+// handles the access.
+func (s *System) fastLocalMiss(proc int, line Addr, write bool) bool {
+	if HomeOf(line) != proc || s.p.DirPointers != 0 || s.p.HitCycles == 0 || s.eng.Tracing() {
+		return false
+	}
+	c := s.caches[proc]
+	if c.peek(line, write) {
+		return false // hit: the regular path charges it
+	}
+	if !write {
+		if m := s.inflight[proc]; m != nil {
+			if _, pending := m[line]; pending {
+				return false // must join the in-flight prefetch
+			}
+		}
+	}
+	d := s.dir(line)
+	if d.busy || len(d.pending) > 0 || d.owner != -1 {
+		return false
+	}
+	if write && len(d.sharers) > 0 {
+		if _, self := d.sharers[proc]; !self || len(d.sharers) > 1 {
+			return false // remote sharers need invalidations
+		}
+	}
+	if c.victimState(line) == modified {
+		return false // dirty eviction: the slow path issues the writeback
+	}
+	// Replay the slow path's timeline: hit-time tag probe on the CPU (t0),
+	// self-addressed request (t1), directory + DRAM work queued on the
+	// home module (t2), local data reply (t3), install charge on the CPU.
+	cpu := s.mach.Proc(proc)
+	now := s.eng.Now()
+	t0 := cpu.FreeAt()
+	if t0 < now {
+		t0 = now
+	}
+	t0 += s.p.HitCycles
+	t1 := t0 + 1 + s.p.CtrlCycles/4
+	t2 := s.modules[proc].FreeAt()
+	if t2 < t1 {
+		t2 = t1
+	}
+	t2 += s.p.DirCycles + s.p.MemCycles
+	t3 := t2 + 1 + s.p.CtrlCycles/4
+	if !s.eng.TryAdvance(t3 + s.p.InstallCyc) {
+		return false
+	}
+	cpu.ReserveAt(now, s.p.HitCycles)
+	s.modules[proc].ReserveAt(t1, s.p.DirCycles+s.p.MemCycles)
+	if s.p.InstallCyc > 0 {
+		cpu.ReserveAt(t3, s.p.InstallCyc)
+	}
+	s.col.CacheMisses++
+	s.col.ProtocolMsgs += 2 // request and reply, both module-local: no traffic
+	st := shared
+	if write {
+		st = modified
+		clear(d.sharers)
+		d.owner = proc
+	} else {
+		d.sharers[proc] = struct{}{}
+	}
+	c.install(line, st)
+	s.nFastLocal++
+	return true
+}
+
 func (s *System) accessLine(th *sim.Thread, proc int, line Addr, write bool) {
+	s.nSlow++
+	if profile.Enabled() {
+		start := time.Now()
+		defer func() { profile.MemSlow.Ns.Add(time.Since(start).Nanoseconds()) }()
+	}
 	cpu := s.mach.Proc(proc)
 	th.Exec(cpu, s.p.HitCycles) // tag lookup always costs a hit time
 	c := s.caches[proc]
@@ -464,15 +711,12 @@ func (s *System) accessLine(th *sim.Thread, proc int, line Addr, write bool) {
 		}
 		// Evicted between fill and resume: fall through to a fresh fetch.
 	}
-	fut := &sim.Future{}
-	if write {
-		s.fetchExclusive(proc, line, fut)
-	} else {
-		s.fetchShared(proc, line, fut)
-	}
+	// One demand miss is in flight per thread at a time, so the thread's
+	// scratch future serves the rendezvous without allocating.
+	fut := th.ScratchFuture()
+	s.fetch(proc, line, write, fut)
 	// The directory transaction stays open until the line is installed
-	// here; completing it earlier would let a queued request invalidate a
-	// copy that has not arrived yet (two-owners race).
+	// here (see fetch).
 	release := fut.Wait(th).(func())
 	st := shared
 	if write {
@@ -497,99 +741,183 @@ func (s *System) dirWork(home int, d *dirEntry, cycles uint64, done func()) {
 	s.modules[home].ExecAsync(cycles, done)
 }
 
-// fetchShared obtains a read copy of line for proc and completes fut.
-func (s *System) fetchShared(proc int, line Addr, fut *sim.Future) {
-	home := HomeOf(line)
-	s.send(proc, home, 0, func() {
-		s.withLine(line, func(d *dirEntry, release func()) {
-			finish := func() {
-				d.sharers[proc] = struct{}{}
-				// Data reply home -> proc; the transaction is released by
-				// the requester once the line is installed.
-				s.send(home, proc, LineWords, func() {
-					fut.Complete(release)
-				})
-			}
-			if d.owner >= 0 && d.owner != proc {
-				owner := d.owner
-				// Recall the dirty copy: home -> owner, owner downgrades
-				// and returns data, home writes memory, then serves.
-				s.send(home, owner, 0, func() {
-					if s.caches[owner].drop(line) == modified {
-						s.caches[owner].install(line, shared)
-					}
-					s.send(owner, home, LineWords, func() {
-						d.owner = -1
-						d.sharers[owner] = struct{}{}
-						s.dirWork(home, d, s.p.DirCycles+s.p.MemCycles, finish)
-					})
-				})
-				return
-			}
-			d.owner = -1
-			s.dirWork(home, d, s.p.DirCycles+s.p.MemCycles, finish)
-		})
-	})
+// txn is one in-flight miss transaction: the requester's fetch of a line
+// in shared (read) or exclusive (write) state. The protocol steps are
+// methods bound once per pooled object, so the slow path's spine — the
+// request, directory serialization, recall, grant, and reply — allocates
+// nothing per miss; only the multi-sharer invalidation fan-out still
+// captures per-sharer state.
+type txn struct {
+	s        *System
+	proc     int // requester
+	home     int
+	owner    int // dirty owner being recalled, when >= 0
+	line     Addr
+	write    bool
+	withData bool // the grant must carry line data (requester had no copy)
+	acks     int  // invalidation acks outstanding
+	fut      *sim.Future
+	d        *dirEntry
+
+	enterFn, runFn, recallFn, recallAckFn, ackFn, dirDoneFn, replyFn func()
+	releaseFn                                                        func()
 }
 
-// fetchExclusive obtains an exclusive (writable) copy of line for proc,
-// invalidating all other cached copies, and completes fut.
-func (s *System) fetchExclusive(proc int, line Addr, fut *sim.Future) {
-	home := HomeOf(line)
-	s.send(proc, home, 0, func() {
-		s.withLine(line, func(d *dirEntry, release func()) {
-			grant := func(withData bool) {
-				for q := range d.sharers {
-					delete(d.sharers, q)
-				}
-				d.owner = proc
-				words := uint64(0)
-				if withData {
-					words = LineWords
-				}
-				s.send(home, proc, words, func() { fut.Complete(release) })
-			}
-			if d.owner >= 0 && d.owner != proc {
-				owner := d.owner
-				// Fetch-and-invalidate the dirty copy.
-				s.send(home, owner, 0, func() {
-					s.caches[owner].drop(line)
-					s.col.Invalidations++
-					s.send(owner, home, LineWords, func() {
-						s.dirWork(home, d, s.p.DirCycles, func() { grant(true) })
-					})
-				})
-				return
-			}
-			_, wasSharer := d.sharers[proc]
-			var others []int
-			for q := range d.sharers {
-				if q != proc {
-					others = append(others, q)
-				}
-			}
-			sort.Ints(others) // keep event order independent of map iteration
-			if len(others) == 0 {
-				s.dirWork(home, d, s.p.DirCycles+s.p.MemCycles, func() { grant(!wasSharer) })
-				return
-			}
-			// Invalidate every other sharer; collect acks.
-			acks := 0
-			for _, q := range others {
-				q := q
-				s.send(home, q, 0, func() {
-					s.caches[q].drop(line)
-					s.col.Invalidations++
-					s.send(q, home, 0, func() {
-						acks++
-						if acks == len(others) {
-							s.dirWork(home, d, s.p.DirCycles, func() { grant(!wasSharer) })
-						}
-					})
-				})
-			}
+func (s *System) newTxn(proc int, line Addr, write bool, fut *sim.Future) *txn {
+	var t *txn
+	if k := len(s.txnPool); k > 0 {
+		t = s.txnPool[k-1]
+		s.txnPool[k-1] = nil
+		s.txnPool = s.txnPool[:k-1]
+	} else {
+		t = &txn{s: s}
+		t.enterFn = t.enter
+		t.runFn = t.run
+		t.recallFn = t.recall
+		t.recallAckFn = t.recallAck
+		t.ackFn = t.ack
+		t.dirDoneFn = t.dirDone
+		t.replyFn = t.reply
+		t.releaseFn = t.releaseLine
+	}
+	t.proc, t.home, t.line, t.write, t.fut = proc, HomeOf(line), line, write, fut
+	t.owner, t.withData, t.acks, t.d = -1, false, 0, nil
+	return t
+}
+
+// fetch obtains line for proc — shared for reads, exclusive (invalidating
+// other copies) for writes — and completes fut with the transaction's
+// release callback. The requester invokes it after installing the line;
+// completing earlier would let a queued request invalidate a copy that
+// has not arrived yet (two-owners race).
+func (s *System) fetch(proc int, line Addr, write bool, fut *sim.Future) {
+	t := s.newTxn(proc, line, write, fut)
+	s.send(proc, t.home, 0, t.enterFn)
+}
+
+// enter runs at the home: serialize on the line's directory entry.
+func (t *txn) enter() {
+	t.d = t.s.dir(t.line)
+	if t.d.busy {
+		t.d.pending = append(t.d.pending, t.runFn)
+		return
+	}
+	t.run()
+}
+
+// run starts the directory transaction proper.
+func (t *txn) run() {
+	s, d := t.s, t.d
+	d.busy = true
+	if d.owner >= 0 && d.owner != t.proc {
+		// Recall the dirty copy: home -> owner; the owner replies with
+		// data and the directory work proceeds on its return.
+		t.owner = d.owner
+		s.send(t.home, t.owner, 0, t.recallFn)
+		return
+	}
+	if !t.write {
+		d.owner = -1
+		s.dirWork(t.home, d, s.p.DirCycles+s.p.MemCycles, t.dirDoneFn)
+		return
+	}
+	_, wasSharer := d.sharers[t.proc]
+	t.withData = !wasSharer
+	var others []int
+	for q := range d.sharers {
+		if q != t.proc {
+			others = append(others, q)
+		}
+	}
+	if len(others) == 0 {
+		s.dirWork(t.home, d, s.p.DirCycles+s.p.MemCycles, t.dirDoneFn)
+		return
+	}
+	sort.Ints(others) // keep event order independent of map iteration
+	t.acks = len(others)
+	// Invalidate every other sharer; collect acks.
+	for _, q := range others {
+		q := q
+		s.send(t.home, q, 0, func() {
+			s.caches[q].drop(t.line)
+			s.col.Invalidations++
+			s.send(q, t.home, 0, t.ackFn)
 		})
-	})
+	}
+}
+
+// recall runs at the dirty owner: downgrade (read) or invalidate (write)
+// its copy, then return the data to the home.
+func (t *txn) recall() {
+	s := t.s
+	if t.write {
+		s.caches[t.owner].drop(t.line)
+		s.col.Invalidations++
+	} else if s.caches[t.owner].drop(t.line) == modified {
+		s.caches[t.owner].install(t.line, shared)
+	}
+	s.send(t.owner, t.home, LineWords, t.recallAckFn)
+}
+
+// recallAck runs at the home with the owner's data in hand.
+func (t *txn) recallAck() {
+	s, d := t.s, t.d
+	if t.write {
+		t.withData = true
+		s.dirWork(t.home, d, s.p.DirCycles, t.dirDoneFn)
+		return
+	}
+	d.owner = -1
+	d.sharers[t.owner] = struct{}{}
+	s.dirWork(t.home, d, s.p.DirCycles+s.p.MemCycles, t.dirDoneFn)
+}
+
+// ack counts one invalidation acknowledgement.
+func (t *txn) ack() {
+	t.acks--
+	if t.acks == 0 {
+		t.s.dirWork(t.home, t.d, t.s.p.DirCycles, t.dirDoneFn)
+	}
+}
+
+// dirDone runs once the directory + memory work has been charged: update
+// the entry and send the grant/data reply to the requester.
+func (t *txn) dirDone() {
+	s, d := t.s, t.d
+	if t.write {
+		clear(d.sharers)
+		d.owner = t.proc
+		words := uint64(0)
+		if t.withData {
+			words = LineWords
+		}
+		s.send(t.home, t.proc, words, t.replyFn)
+		return
+	}
+	d.sharers[t.proc] = struct{}{}
+	s.send(t.home, t.proc, LineWords, t.replyFn)
+}
+
+// reply runs at the requester when the data arrives.
+func (t *txn) reply() {
+	t.fut.Complete(t.releaseFn)
+}
+
+// releaseLine is the value the future resolves to: the requester invokes
+// it after installing the line, which closes the transaction, reopens the
+// directory entry (running the next queued request), and recycles the
+// object.
+func (t *txn) releaseLine() {
+	s, d := t.s, t.d
+	d.busy = false
+	if len(d.pending) > 0 {
+		next := d.pending[0]
+		copy(d.pending, d.pending[1:])
+		d.pending = d.pending[:len(d.pending)-1]
+		s.eng.Schedule(0, next)
+	}
+	t.fut, t.d = nil, nil
+	s.txnPool = append(s.txnPool, t)
 }
 
 // writeback retires a dirty evicted line to its home (fire-and-forget).
@@ -603,7 +931,20 @@ func (s *System) writeback(proc int, line Addr) {
 				d.owner = -1
 			}
 			delete(d.sharers, proc)
-			s.modules[home].ExecAsync(s.p.DirCycles+s.p.MemCycles, release)
+			s.modules[home].ExecAsync(s.p.DirCycles+s.p.MemCycles, func() {
+				// The writeback may have returned the line to
+				// uncached-everywhere. If no transaction is queued behind
+				// this one the entry is dead weight: a later access
+				// recreates an identical empty entry, so reclaiming it
+				// here keeps long-running directories bounded by the
+				// *live* working set instead of every line ever touched.
+				// (Silent shared evictions leave stale sharer bits, so
+				// only the writeback path can observe emptiness.)
+				if d.owner == -1 && len(d.sharers) == 0 && len(d.pending) == 0 {
+					delete(s.dirs[home], line)
+				}
+				release()
+			})
 		})
 	})
 }

@@ -44,7 +44,7 @@ func (s *System) prefetchLine(proc int, line Addr) {
 	s.col.Prefetches++
 	fut := &sim.Future{}
 	s.inflight[proc][line] = fut
-	s.fetchShared(proc, line, fut)
+	s.fetch(proc, line, false, fut)
 	// Install on arrival without a waiting thread: the cache controller
 	// does it in the background.
 	s.eng.Schedule(0, func() { s.awaitPrefetch(proc, line, fut) })

@@ -8,7 +8,9 @@ package network
 
 import (
 	"fmt"
+	"time"
 
+	"compmig/internal/profile"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
 )
@@ -151,6 +153,19 @@ func (n *Network) Latency(src, dst int, words uint64) uint64 {
 // latency. Word and message accounting happens at injection; transit
 // cycles are charged to the network-transit category.
 func (n *Network) Send(m *Message, arrive func(*Message)) {
+	n.SendAfter(m, 0, arrive)
+}
+
+// SendAfter is Send with an additional fixed delay charged at the
+// receiving end (e.g. controller handling time) before arrive runs.
+// Folding the delay into the delivery event instead of scheduling a
+// second hop at arrival halves the event-heap traffic of protocol-heavy
+// workloads.
+func (n *Network) SendAfter(m *Message, recvDelay uint64, arrive func(*Message)) {
+	if profile.Enabled() {
+		start := time.Now()
+		defer func() { profile.NetSends.AddTimed(1, time.Since(start)) }()
+	}
 	words := m.Words()
 	n.col.CountMessage(m.Kind, words)
 	lat := n.Latency(m.Src, m.Dst, words)
@@ -168,5 +183,5 @@ func (n *Network) Send(m *Message, arrive func(*Message)) {
 		d.fn = d.run
 	}
 	d.m, d.arrive = m, arrive
-	n.eng.Schedule(lat, d.fn)
+	n.eng.Schedule(lat+recvDelay, d.fn)
 }

@@ -1,0 +1,89 @@
+// Package profile collects host-side (wall clock, not simulated)
+// per-subsystem counters so the simulator's own performance is
+// observable: how often each fast path fires, how much protocol work
+// still takes the event-driven slow path, and where host nanoseconds go.
+//
+// Counts are cheap and collected unconditionally — subsystems either
+// increment a process-wide atomic directly or batch per-run tallies and
+// flush them once (see internal/mem). Nanosecond timing is only recorded
+// while Enable(true) is in effect (the paperfigs -profile flag), because
+// calling time.Now around hot paths is itself a measurable cost.
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+var enabled atomic.Bool
+
+// Enable turns nanosecond timing on or off process-wide.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether timing is being collected.
+func Enabled() bool { return enabled.Load() }
+
+// Section is one profiled subsystem entry point.
+type Section struct {
+	Count atomic.Uint64
+	Ns    atomic.Int64
+}
+
+// Add records n entries.
+func (s *Section) Add(n uint64) { s.Count.Add(n) }
+
+// AddTimed records n entries that took d of host time.
+func (s *Section) AddTimed(n uint64, d time.Duration) {
+	s.Count.Add(n)
+	s.Ns.Add(d.Nanoseconds())
+}
+
+// The profiled sections. Mem counts are line-granularity accesses; the
+// slow-path timing is inclusive — under the engine's direct-handoff
+// dispatch a blocked access pumps other events on its own goroutine, so
+// overlapping slow accesses double-count wall time. Use the counts for
+// exact attribution and the timings for relative weight.
+var (
+	MemFastHits  Section // accesses satisfied by the inline all-hit path
+	MemFastLocal Section // misses completed inline at the home module
+	MemSlow      Section // accesses through the event-driven protocol
+	NetSends     Section // messages injected into the simulated network
+	HeapOps      Section // event-heap pushes
+)
+
+// Stat is one row of a snapshot.
+type Stat struct {
+	Name  string
+	Count uint64
+	Ns    int64
+}
+
+// Snapshot returns the current totals in a fixed order.
+func Snapshot() []Stat {
+	return []Stat{
+		{"mem.fast_hits", MemFastHits.Count.Load(), MemFastHits.Ns.Load()},
+		{"mem.fast_local", MemFastLocal.Count.Load(), MemFastLocal.Ns.Load()},
+		{"mem.slow", MemSlow.Count.Load(), MemSlow.Ns.Load()},
+		{"net.sends", NetSends.Count.Load(), NetSends.Ns.Load()},
+		{"engine.heap_pushes", HeapOps.Count.Load(), HeapOps.Ns.Load()},
+	}
+}
+
+// Report formats totals (optionally deltas against a prior snapshot from
+// the same process) as an aligned table.
+func Report(since []Stat) string {
+	cur := Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %12s\n", "section", "count", "host ms")
+	for i, s := range cur {
+		count, ns := s.Count, s.Ns
+		if since != nil {
+			count -= since[i].Count
+			ns -= since[i].Ns
+		}
+		fmt.Fprintf(&b, "%-20s %12d %12.1f\n", s.Name, count, float64(ns)/1e6)
+	}
+	return b.String()
+}

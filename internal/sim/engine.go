@@ -3,18 +3,24 @@
 // parallel-architecture simulator used by the paper.
 //
 // The engine owns a virtual clock measured in processor cycles. Simulated
-// threads are real goroutines, but exactly one of them runs at any moment:
-// the engine hands control to a thread over a channel and blocks until the
-// thread parks itself again. All simulation state is therefore mutated by
+// threads are real goroutines, but exactly one of them runs at any moment.
+// Control is passed by direct handoff: the goroutine that pops an event
+// dispatches it in place, and only when the event is another thread's
+// wakeup does control move (over that thread's resume channel). A waiting
+// thread therefore drives the event loop itself — it pops and runs
+// protocol callbacks inline and parts with its host goroutine only to run
+// a different simulated thread. All simulation state is still mutated by
 // at most one goroutine at a time, and the event heap is ordered by
 // (time, sequence number), so a given program and seed always produce the
-// same execution.
+// same execution regardless of which goroutine happens to be driving.
 package sim
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"compmig/internal/profile"
 )
 
 // Time is a point on the simulated clock, in cycles.
@@ -30,6 +36,7 @@ type Event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	th  *Thread // wakeup event: hand control to th instead of calling fn
 	eng *Engine
 
 	index int // heap index, -1 when not queued (fired, cancelled, or pooled)
@@ -56,7 +63,7 @@ type Engine struct {
 	pool []*Event // free list of fired/cancelled events, for reuse by At
 
 	current *Thread
-	handoff chan struct{} // a running thread signals here when it parks or exits
+	handoff chan struct{} // a driving thread signals here to return control to Run
 
 	liveThreads int
 	allThreads  map[*Thread]struct{}
@@ -67,8 +74,9 @@ type Engine struct {
 	stopped bool
 	tracer  *Tracer
 
-	// limited/runLimit are set while RunUntil is draining events, so the
-	// thread fast path cannot advance the clock past the limit.
+	// limited/runLimit are set while RunUntil is draining events, so
+	// neither a driving thread nor the fast path can advance the clock
+	// past the limit.
 	limited  bool
 	runLimit Time
 
@@ -106,8 +114,22 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 
 // At queues fn at absolute time at, which must not be in the past.
 func (e *Engine) At(at Time, fn func()) *Event {
+	return e.schedule(at, fn, nil)
+}
+
+// scheduleWake queues a wakeup for th at absolute time at. Wakeups are
+// tagged with the thread rather than wrapped in a closure so dispatchers
+// can hand control over directly.
+func (e *Engine) scheduleWake(at Time, th *Thread) *Event {
+	return e.schedule(at, nil, th)
+}
+
+func (e *Engine) schedule(at Time, fn func(), th *Thread) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	if profile.Enabled() {
+		profile.HeapOps.Add(1)
 	}
 	e.seq++
 	var ev *Event
@@ -115,9 +137,9 @@ func (e *Engine) At(at Time, fn func()) *Event {
 		ev = e.pool[n-1]
 		e.pool[n-1] = nil
 		e.pool = e.pool[:n-1]
-		ev.at, ev.seq, ev.fn = at, e.seq, fn
+		ev.at, ev.seq, ev.fn, ev.th = at, e.seq, fn, th
 	} else {
-		ev = &Event{at: at, seq: e.seq, fn: fn, eng: e, index: -1}
+		ev = &Event{at: at, seq: e.seq, fn: fn, th: th, eng: e, index: -1}
 	}
 	e.heap.push(ev)
 	return ev
@@ -126,6 +148,7 @@ func (e *Engine) At(at Time, fn func()) *Event {
 // release returns a fired or cancelled event to the free list.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
+	ev.th = nil
 	e.pool = append(e.pool, ev)
 }
 
@@ -154,6 +177,27 @@ func (m *MaxEventsError) Error() string {
 	return fmt.Sprintf("sim: exceeded MaxEvents=%d at cycle %d", m.Max, m.Now)
 }
 
+// dispatch processes one popped event in the caller's goroutine: a plain
+// event runs its callback in place; a thread wakeup hands control to the
+// thread and blocks until some driver returns control over e.handoff.
+func (e *Engine) dispatch(ev *Event) {
+	if ev.at < e.now {
+		panic("sim: event heap time went backwards")
+	}
+	e.now = ev.at
+	e.processed++
+	if th := ev.th; th != nil {
+		e.release(ev)
+		e.current = th
+		th.resume <- struct{}{}
+		<-e.handoff
+		return
+	}
+	fn := ev.fn
+	e.release(ev)
+	fn()
+}
+
 // Run processes events until the heap is empty or Stop is called. It
 // returns a *DeadlockError if the heap drains while simulated threads are
 // still parked (they can never be woken again), a *MaxEventsError if the
@@ -162,15 +206,7 @@ func (e *Engine) Run() error {
 	defer e.drainThreadPool()
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		ev := e.heap.pop()
-		if ev.at < e.now {
-			panic("sim: event heap time went backwards")
-		}
-		e.now = ev.at
-		fn := ev.fn
-		e.release(ev)
-		fn()
-		e.processed++
+		e.dispatch(e.heap.pop())
 		if e.MaxEvents != 0 && e.processed >= e.MaxEvents {
 			return &MaxEventsError{Max: e.MaxEvents, Now: e.now}
 		}
@@ -194,15 +230,7 @@ func (e *Engine) RunUntil(limit Time) error {
 	e.limited, e.runLimit = true, limit
 	defer func() { e.limited = false }()
 	for len(e.heap) > 0 && !e.stopped && e.heap[0].at <= limit {
-		ev := e.heap.pop()
-		if ev.at < e.now {
-			panic("sim: event heap time went backwards")
-		}
-		e.now = ev.at
-		fn := ev.fn
-		e.release(ev)
-		fn()
-		e.processed++
+		e.dispatch(e.heap.pop())
 		if e.MaxEvents != 0 && e.processed >= e.MaxEvents {
 			return &MaxEventsError{Max: e.MaxEvents, Now: e.now}
 		}
@@ -215,9 +243,9 @@ func (e *Engine) RunUntil(limit Time) error {
 
 // fastAdvance reports whether the clock can jump straight to at without
 // dispatching any other event, and performs the jump when it can. A
-// running thread uses this to skip the schedule-park-resume round trip
-// (two channel handoffs) when its own wakeup would be the very next event
-// processed: the observable execution order is exactly the slow path's.
+// running thread uses this to skip the schedule-pump round trip entirely
+// when its own wakeup would be the very next event processed: the
+// observable execution order is exactly the slow path's.
 func (e *Engine) fastAdvance(at Time) bool {
 	if e.stopped || (e.MaxEvents != 0 && e.processed >= e.MaxEvents) {
 		return false
@@ -233,6 +261,15 @@ func (e *Engine) fastAdvance(at Time) bool {
 	return true
 }
 
+// TryAdvance reports whether the clock can jump straight to at without
+// dispatching any other event, and performs the jump when it can. It is
+// the hook inline fast paths (e.g. the shared-memory substrate's
+// home-local miss path) use to complete a whole future transaction
+// synchronously: when it returns true, nothing else in the simulation can
+// observe an intermediate point of [Now, at], so state mutations that
+// would have happened inside that window may be applied immediately.
+func (e *Engine) TryAdvance(at Time) bool { return e.fastAdvance(at) }
+
 // drainThreadPool terminates the goroutines of pooled (exited) threads.
 // Run calls it on exit so an abandoned engine does not pin parked
 // goroutines; a pooled thread has no pending body, so the bare wakeup
@@ -245,19 +282,12 @@ func (e *Engine) drainThreadPool() {
 	e.threadPool = e.threadPool[:0]
 }
 
-// resume hands control to th and blocks until it parks or exits.
-func (e *Engine) resume(th *Thread) {
-	prev := e.current
-	e.current = th
-	th.resume <- struct{}{}
-	<-e.handoff
-	e.current = prev
-}
-
 // eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
 // rather than built on container/heap: the sift loops below run for every
 // event the simulator processes, and the interface-based version's
 // indirect Less/Swap calls were a measurable share of total run time.
+// (An inline-key 4-ary layout was measured and lost: the heap stays
+// shallow enough that wider fan-out doesn't pay for the extra copies.)
 type eventHeap []*Event
 
 func (h eventHeap) less(i, j int) bool {

@@ -92,8 +92,25 @@ func (th *Thread) Exec(p *Proc, cycles Time) {
 	if th.eng.fastAdvance(end) {
 		return
 	}
-	th.eng.At(end, th.wake)
+	th.eng.scheduleWake(end, th)
 	th.park(p.execWhere)
+}
+
+// ReserveAt books cycles of exclusive processor time starting no earlier
+// than at (later if the processor is still draining earlier segments),
+// without blocking any thread or scheduling any event. It returns the
+// completion cycle. Inline fast paths use it to account occupancy for
+// work they have already decided completes synchronously.
+func (p *Proc) ReserveAt(at, cycles Time) Time {
+	start := p.free
+	if start < at {
+		start = at
+	}
+	end := start + cycles
+	p.free = end
+	p.Busy += cycles
+	p.Segments++
+	return end
 }
 
 // ExecAsync books cycles of work on p without a thread attached (e.g. a

@@ -120,6 +120,17 @@ func (f *Future) Complete(val any) {
 // Done reports whether the future has been completed.
 func (f *Future) Done() bool { return f.done }
 
+// Reset returns the future to its unset state so it can rendezvous
+// again, keeping the waiter queue's storage. Resetting with parked
+// waiters would strand them, so it panics.
+func (f *Future) Reset() {
+	if f.q.Len() > 0 {
+		panic("sim: Future.Reset with parked waiters")
+	}
+	f.done = false
+	f.val = nil
+}
+
 // Wait blocks th until the future completes and returns the value.
 func (f *Future) Wait(th *Thread) any {
 	if !f.done {

@@ -17,9 +17,11 @@ type Thread struct {
 	name   string
 	body   func(*Thread) // pending body; nil tells loop to terminate
 	resume chan struct{}
-	wake   func() // cached resume callback, so wakeups allocate no closure
 	state  threadState
 	where  string // description of the blocking site, for deadlock reports
+
+	// scratch is the future handed out by ScratchFuture.
+	scratch Future
 }
 
 type threadState int
@@ -51,12 +53,11 @@ func (e *Engine) Spawn(name string, delay Time, body func(*Thread)) *Thread {
 			body:   body,
 			resume: make(chan struct{}),
 		}
-		th.wake = func() { e.resume(th) }
 		go th.loop()
 	}
 	e.liveThreads++
 	e.allThreads[th] = struct{}{}
-	e.Schedule(delay, th.wake)
+	e.scheduleWake(e.now+delay, th)
 	return th
 }
 
@@ -113,16 +114,66 @@ func (th *Thread) String() string {
 	return fmt.Sprintf("%s#%d@%s", th.name, th.id, th.where)
 }
 
-// park yields control back to the engine and blocks until some event
-// resumes this thread. The caller must have arranged for a wakeup.
+// ScratchFuture resets and returns a future owned by the thread, for
+// rendezvous whose lifetimes never overlap (e.g. one demand miss at a
+// time): each call invalidates the value of the previous one. Callers
+// that can have several in flight must allocate their own futures.
+func (th *Thread) ScratchFuture() *Future {
+	th.scratch.Reset()
+	return &th.scratch
+}
+
+// park blocks the thread until some event resumes it. The caller must
+// have arranged for a wakeup.
+//
+// Rather than bouncing control back to the engine goroutine on every
+// block, the parking thread becomes the driver: it pumps events in place.
+// Plain callbacks run inline; its own wakeup lets it fall straight
+// through and keep running on the same goroutine; another thread's wakeup
+// hands control to that thread directly. The engine goroutine is involved
+// only when the loop must end (stop, empty heap, run limit, event bound).
+// Event order comes solely from the heap, so the execution is identical
+// to engine-driven dispatch — only the goroutine doing the popping
+// changes.
 func (th *Thread) park(where string) {
-	if th.eng.current != th {
+	e := th.eng
+	if e.current != th {
 		panic("sim: park called from a thread that is not running")
 	}
 	th.state = threadParked
 	th.where = where
-	th.eng.handoff <- struct{}{}
-	<-th.resume
+	e.current = nil
+	for {
+		if e.stopped || len(e.heap) == 0 ||
+			(e.limited && e.heap[0].at > e.runLimit) ||
+			(e.MaxEvents != 0 && e.processed >= e.MaxEvents) {
+			// The engine loop must take back over: to return, to honor
+			// the run limit, or to report deadlock / the event bound.
+			e.handoff <- struct{}{}
+			<-th.resume
+			break
+		}
+		ev := e.heap.pop()
+		if ev.at < e.now {
+			panic("sim: event heap time went backwards")
+		}
+		e.now = ev.at
+		e.processed++
+		if tw := ev.th; tw != nil {
+			e.release(ev)
+			if tw == th {
+				break // own wakeup: resume in place, no goroutine switch
+			}
+			e.current = tw
+			tw.resume <- struct{}{}
+			<-th.resume
+			break
+		}
+		fn := ev.fn
+		e.release(ev)
+		fn()
+	}
+	e.current = th
 	th.state = threadRunning
 	th.where = ""
 }
@@ -136,12 +187,12 @@ func (th *Thread) Park(where string) { th.park(where) }
 // called for a thread that is parked (or about to park within the current
 // event); the engine's single-runner discipline makes this race-free.
 func (th *Thread) Unpark() {
-	th.eng.Schedule(0, th.wake)
+	th.eng.scheduleWake(th.eng.now, th)
 }
 
 // UnparkAt schedules th to resume after delay cycles.
 func (th *Thread) UnparkAt(delay Time) {
-	th.eng.Schedule(delay, th.wake)
+	th.eng.scheduleWake(th.eng.now+delay, th)
 }
 
 // Sleep advances the thread's virtual time by d cycles without occupying
@@ -155,7 +206,7 @@ func (th *Thread) Sleep(d Time) {
 	if th.eng.fastAdvance(th.eng.now + d) {
 		return
 	}
-	th.eng.Schedule(d, th.wake)
+	th.eng.scheduleWake(th.eng.now+d, th)
 	th.park("sleep")
 }
 
@@ -165,6 +216,6 @@ func (th *Thread) Yield() {
 	if th.eng.fastAdvance(th.eng.now) {
 		return
 	}
-	th.eng.Schedule(0, th.wake)
+	th.eng.scheduleWake(th.eng.now, th)
 	th.park("yield")
 }
