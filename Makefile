@@ -1,18 +1,19 @@
 # make check is the CI gate: vet, build, tests, the race detector (the
-# harness worker pool is real host-side concurrency), the fast-path A/B
-# identity test, a quick parallel smoke run of the full evaluation
-# suite, and a benchdiff smoke against the committed baseline report.
+# harness worker pool is real host-side concurrency), the fast-path and
+# policy A/B identity tests, a short fuzz pass over the wire codec, a
+# quick parallel smoke run of the full evaluation suite, and a benchdiff
+# smoke against the committed baseline report.
 
 GO ?= go
 
 # Committed full-scale benchmark reports, oldest first; benchdiff-smoke
 # compares the two most recent.
-BENCH_BASELINE := BENCH_2026-08-06.json
-BENCH_CURRENT  := BENCH_2026-08-06-fastpath.json
+BENCH_BASELINE := BENCH_2026-08-06-fastpath.json
+BENCH_CURRENT  := BENCH_2026-08-06-policy.json
 
-.PHONY: check vet build test race ab-identity smoke benchdiff-smoke bench bench-json
+.PHONY: check vet build test race ab-identity fuzz-smoke smoke benchdiff-smoke bench-gate bench bench-json
 
-check: vet build test race ab-identity smoke benchdiff-smoke
+check: vet build test race ab-identity fuzz-smoke smoke benchdiff-smoke
 	@echo "check: all green"
 
 vet:
@@ -33,7 +34,16 @@ race:
 ab-identity:
 	$(GO) test ./internal/harness/ -run TestFastPathABIdentity -count=1
 	$(GO) test ./internal/mem/ -run TestFastPathCollectorIdentity -count=1
-	@echo "ab-identity: fast paths are observationally equivalent"
+	$(GO) test ./internal/harness/ -run TestPolicyStaticABIdentity -count=1
+	@echo "ab-identity: fast paths and static policies are observationally equivalent"
+
+# fuzz-smoke runs each msg codec fuzz target briefly over the committed
+# seed corpus (internal/msg/testdata/fuzz) plus fresh mutations; a
+# decoding panic or round-trip mismatch fails the build.
+fuzz-smoke:
+	$(GO) test ./internal/msg/ -run '^$$' -fuzz FuzzReaderNeverPanics -fuzztime 5s
+	$(GO) test ./internal/msg/ -run '^$$' -fuzz FuzzWriterReaderRoundTrip -fuzztime 5s
+	@echo "fuzz-smoke: msg codec survived fuzzing"
 
 smoke:
 	$(GO) run ./cmd/paperfigs -exp all -quick -workers 4 > /dev/null
@@ -45,6 +55,18 @@ smoke:
 benchdiff-smoke:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) $(BENCH_CURRENT) > /dev/null
 	@echo "benchdiff-smoke: $(BENCH_BASELINE) vs $(BENCH_CURRENT) ok"
+
+# bench-gate regenerates a full-scale report from the working tree and
+# gates it against the committed $(BENCH_CURRENT) with a wall-clock
+# regression threshold. Both reports must come from the same machine for
+# the threshold to mean anything, so this is the perf-work loop (run it
+# after regenerating $(BENCH_CURRENT) on your machine), not part of
+# check — cross-commit reports are compared ungated by benchdiff-smoke.
+bench-gate:
+	$(GO) run ./cmd/paperfigs -exp all -workers 4 -bench-json BENCH_gate.json
+	$(GO) run ./cmd/benchdiff -threshold 25 $(BENCH_CURRENT) BENCH_gate.json
+	@rm -f BENCH_gate.json
+	@echo "bench-gate: no experiment regressed more than 25% vs $(BENCH_CURRENT)"
 
 # bench regenerates the suite benchmarks (quick scale) with allocation
 # statistics; see BENCH_*.json for recorded full-scale runs.

@@ -1,16 +1,29 @@
 // Command advise runs the §6-style mechanism advisor: given a call
 // site's profile (consecutive accesses per object, record sizes), it
-// predicts RPC vs computation-migration cost under a chosen machine
-// model and prints the recommendation and the crossover run length.
+// predicts the cost of each remote-access mechanism — RPC, computation
+// migration (CM), and cache-coherent shared memory (SM) — under a chosen
+// machine model and prints the recommendation and the crossover run
+// length. (Emerald-style object migration has no offline estimator; run
+// it with -scheme om in the app CLIs to measure it.)
+//
+// Profiles come from flags, or from a live-statistics JSON file dumped
+// by a policy run (-policy-stats in cmd/countnet and cmd/btree), so the
+// offline predictions can be cross-checked against what the online
+// policy engine actually decided:
+//
+//	advise -from-stats stats.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"compmig/internal/advisor"
 	"compmig/internal/cost"
+	"compmig/internal/mem"
+	"compmig/internal/policy"
 )
 
 func main() {
@@ -21,6 +34,7 @@ func main() {
 	contW := flag.Uint64("cont", 8, "continuation record size (live variables), words")
 	short := flag.Bool("short", false, "the access is a short method under RPC")
 	hw := flag.Bool("hw", false, "use the hardware-support cost model")
+	fromStats := flag.String("from-stats", "", "read per-site live profiles from a policy-stats JSON file instead of flags")
 	flag.Parse()
 
 	model := cost.Software()
@@ -30,6 +44,15 @@ func main() {
 		label = "hardware-assisted"
 	}
 	a := advisor.New(model)
+
+	if *fromStats != "" {
+		if err := adviseFromStats(a, model, label, *fromStats); err != nil {
+			fmt.Fprintln(os.Stderr, "advise:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	p := advisor.SiteProfile{
 		AccessesPerVisit: *n, ArgWords: *argW, ReplyWords: *repW,
 		ContWords: *contW, ShortMethod: *short, ChainLength: *m,
@@ -46,4 +69,78 @@ func main() {
 		fmt.Println("crossover:        migration never wins for this profile")
 		os.Exit(0)
 	}
+}
+
+// formatByMech renders a per-mechanism map in the fixed mechanism order
+// rather than Go's random map order.
+func formatByMech[V any](m map[string]V, format func(V) string) string {
+	var b []byte
+	for _, k := range []string{"RPC", "CM", "SM", "OM"} {
+		v, ok := m[k]
+		if !ok {
+			continue
+		}
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, k...)
+		b = append(b, ':')
+		b = append(b, format(v)...)
+	}
+	if len(b) == 0 {
+		return fmt.Sprint(m) // unknown keys: fall back to map formatting
+	}
+	return string(b)
+}
+
+// adviseFromStats re-runs the advisor math offline over every call
+// site's live profile from a policy-stats dump, alongside the policy's
+// own online decisions and the shared-memory estimate at the dump's
+// sampled pressure.
+func adviseFromStats(a *advisor.Advisor, model cost.Model, label, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var st policy.Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(st.Sites) == 0 {
+		return fmt.Errorf("%s: no sites in stats dump", path)
+	}
+	fmt.Printf("model:            %s (Table 5 costs)\n", label)
+	fmt.Printf("online policy:    %s (sampled sm miss rate %.2f, inval rate %.2f)\n",
+		st.Policy, st.MissRate, st.InvalRate)
+	mp := mem.DefaultParams()
+	for _, s := range st.Sites {
+		p := advisor.SiteProfile{
+			AccessesPerVisit: s.AccessesPerVisit,
+			ArgWords:         s.ArgWords, ReplyWords: s.ReplyWords,
+			ContWords: s.ContWords, ShortMethod: s.ShortMethod,
+			ChainLength: s.ChainLength,
+		}
+		chain := p.ChainLength
+		if chain < 1 {
+			chain = 1
+		}
+		sm := policy.EstimateSM(model, mp, p, st.MissRate, st.InvalRate)
+		fmt.Printf("\nsite %s (%d ops observed):\n", s.Name, s.Ops)
+		fmt.Printf("  live profile:   n=%.2f accesses/visit, m=%.2f objects, cont=%dw, args=%dw, reply=%dw\n",
+			p.AccessesPerVisit, p.ChainLength, p.ContWords, p.ArgWords, p.ReplyWords)
+		fmt.Printf("  per operation:  RPC %.0f, CM %.0f, SM %.0f cycles\n",
+			a.EstimateRPC(p)*chain, a.EstimateMigrate(p)*chain, sm*chain)
+		fmt.Printf("  offline choice: %v\n", a.Choose(p))
+		if len(s.Decisions) > 0 {
+			fmt.Printf("  online choices: %s\n", formatByMech(s.Decisions, func(v uint64) string {
+				return fmt.Sprintf("%d", v)
+			}))
+		}
+		if len(s.MeanCycles) > 0 {
+			fmt.Printf("  observed mean:  %s cycles/op\n", formatByMech(s.MeanCycles, func(v float64) string {
+				return fmt.Sprintf("%.0f", v)
+			}))
+		}
+	}
+	return nil
 }

@@ -4,15 +4,18 @@
 // Example:
 //
 //	btree -threads 16 -think 0 -scheme cm+repl+hw -fanout 100
+//	btree -threads 16 -policy costmodel -policy-stats stats.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"compmig/internal/apps/btree"
 	"compmig/internal/harness"
+	"compmig/internal/policy"
 	"compmig/internal/sim"
 )
 
@@ -23,7 +26,9 @@ func main() {
 	threads := flag.Int("threads", 16, "requesting threads, one per processor")
 	think := flag.Uint64("think", 0, "cycles between requests")
 	lookup := flag.Float64("lookups", 0.5, "fraction of operations that are lookups")
-	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm with +hw/+repl (e.g. cm+repl+hw)")
+	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm|om with +hw/+repl (e.g. cm+repl+hw)")
+	policySpec := flag.String("policy", "", "online mechanism selection: static:<rpc|cm|sm|om>, costmodel, or bandit[:eps]")
+	policyStats := flag.String("policy-stats", "", "write the policy engine's live statistics as JSON to this file (requires -policy)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
 	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
@@ -35,6 +40,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *policyStats != "" && *policySpec == "" {
+		fmt.Fprintln(os.Stderr, "btree: -policy-stats requires -policy")
+		os.Exit(2)
+	}
+	if *policySpec != "" {
+		if err := policy.Validate(*policySpec); err != nil {
+			fmt.Fprintln(os.Stderr, "btree:", err)
+			os.Exit(2)
+		}
+	}
 	p := btree.DefaultParams()
 	p.Fanout = *fanout
 	p.NodeProcs = *procs
@@ -42,14 +57,28 @@ func main() {
 		Params: p, InitialKeys: *keys, Threads: *threads, Think: *think,
 		LookupFrac: *lookup, Scheme: scheme, Seed: *seed,
 		Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
-		TraceCap: *trace,
+		TraceCap: *trace, Policy: *policySpec,
 	})
+	if *policyStats != "" {
+		data, err := json.MarshalIndent(r.PolicyStats, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*policyStats, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btree: writing policy stats:", err)
+			os.Exit(1)
+		}
+	}
 	if r.Trace != nil {
 		if err := r.Trace.Dump(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
 	fmt.Printf("scheme            %s\n", r.Scheme)
+	if r.Policy != "" {
+		fmt.Printf("policy            %s (decisions rpc:%d cm:%d sm:%d om:%d)\n",
+			r.Policy, r.Decisions[0], r.Decisions[1], r.Decisions[2], r.Decisions[3])
+	}
 	fmt.Printf("think time        %d cycles\n", r.Think)
 	fmt.Printf("throughput        %.3f ops/1000 cycles\n", r.Throughput)
 	fmt.Printf("bandwidth         %.3f words/10 cycles\n", r.Bandwidth)

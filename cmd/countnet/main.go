@@ -4,15 +4,18 @@
 // Example:
 //
 //	countnet -threads 64 -think 0 -scheme cm+hw
+//	countnet -threads 64 -policy costmodel -policy-stats stats.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"compmig/internal/apps/countnet"
 	"compmig/internal/harness"
+	"compmig/internal/policy"
 	"compmig/internal/sim"
 )
 
@@ -20,7 +23,9 @@ func main() {
 	width := flag.Int("width", 8, "counting network width (power of two)")
 	threads := flag.Int("threads", 8, "requesting threads, one per processor")
 	think := flag.Uint64("think", 0, "cycles between requests")
-	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm with +hw (e.g. cm+hw)")
+	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm|om with +hw (e.g. cm+hw)")
+	policySpec := flag.String("policy", "", "online mechanism selection: static:<rpc|cm|sm|om>, costmodel, or bandit[:eps]")
+	policyStats := flag.String("policy-stats", "", "write the policy engine's live statistics as JSON to this file (requires -policy)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
 	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
@@ -32,17 +37,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *policyStats != "" && *policySpec == "" {
+		fmt.Fprintln(os.Stderr, "countnet: -policy-stats requires -policy")
+		os.Exit(2)
+	}
+	if *policySpec != "" {
+		if err := policy.Validate(*policySpec); err != nil {
+			fmt.Fprintln(os.Stderr, "countnet:", err)
+			os.Exit(2)
+		}
+	}
 	r := countnet.RunExperiment(countnet.Config{
 		Width: *width, Threads: *threads, Think: *think, Scheme: scheme,
 		Seed: *seed, Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
-		TraceCap: *trace,
+		TraceCap: *trace, Policy: *policySpec,
 	})
+	if *policyStats != "" {
+		data, err := json.MarshalIndent(r.PolicyStats, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*policyStats, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "countnet: writing policy stats:", err)
+			os.Exit(1)
+		}
+	}
 	if r.Trace != nil {
 		if err := r.Trace.Dump(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
 	fmt.Printf("scheme            %s\n", r.Scheme)
+	if r.Policy != "" {
+		fmt.Printf("policy            %s (decisions rpc:%d cm:%d sm:%d om:%d)\n",
+			r.Policy, r.Decisions[0], r.Decisions[1], r.Decisions[2], r.Decisions[3])
+	}
 	fmt.Printf("threads           %d\n", r.Threads)
 	fmt.Printf("think time        %d cycles\n", r.Think)
 	fmt.Printf("throughput        %.3f requests/1000 cycles\n", r.Throughput)

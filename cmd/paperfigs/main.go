@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig]
+//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig|ext-policy]
 //	          [-quick] [-seed N] [-format text|md] [-workers N] [-bench-json out.json]
 //	          [-profile] [-cpuprofile out.pb] [-memprofile out.pb] [-fastpath=false]
 //
@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, all")
 	quick := flag.Bool("quick", false, "short measurement windows (smoke run)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	format := flag.String("format", "text", "output format: text or md")
@@ -145,7 +145,7 @@ func runBench(path, exp string, o harness.Options) error {
 	if exp == "all" {
 		// One id per independent sweep (fig3 shares fig2's, table2/4
 		// share table1/3's), plus the full suite.
-		ids = []string{"fig1", "fig2", "table1", "table3", "table5", "smallnode", "ext-objmig", "all"}
+		ids = []string{"fig1", "fig2", "table1", "table3", "table5", "smallnode", "ext-objmig", "ext-policy", "all"}
 	}
 	parallel := harness.Options{Quick: o.Quick, Seed: o.Seed, Workers: o.Workers}
 	serial := parallel

@@ -8,6 +8,7 @@ import (
 	"compmig/internal/cost"
 	"compmig/internal/mem"
 	"compmig/internal/network"
+	"compmig/internal/policy"
 	"compmig/internal/repl"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
@@ -41,6 +42,12 @@ type Config struct {
 	// space (both zero = the paper's uniform workload).
 	HotOpFrac  float64
 	HotKeyFrac float64
+	// Policy, when non-empty, selects the remote-access mechanism per
+	// operation through an internal/policy engine instead of the static
+	// scheme: "static:<mech>", "costmodel", or "bandit[:eps]". The
+	// shared-memory substrate is always built so adaptive policies can
+	// route through it. Scheme still supplies the cost model.
+	Policy string
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -96,6 +103,13 @@ type Result struct {
 	// (nonzero only under the ObjMigrate scheme).
 	ObjectMoves uint64
 	Forwards    uint64
+	// Policy names the policy a policy run used ("" for static schemes);
+	// Decisions sums its per-mechanism choices across the lookup and
+	// insert sites, indexed by core.Mechanism; PolicyStats is the
+	// engine's final statistics dump.
+	Policy      string
+	Decisions   [4]uint64
+	PolicyStats *policy.Stats
 }
 
 // RunExperiment builds a fresh machine and tree, runs the mixed
@@ -129,12 +143,16 @@ func RunExperiment(cfg Config) Result {
 	net := network.New(eng, topo, col, model.NetTransitBase, perHop)
 	rt := core.New(eng, mach, net, col, model)
 
+	mp := mem.DefaultParams()
+	if cfg.MemParams != nil {
+		mp = *cfg.MemParams
+	}
 	var shm *mem.System
-	if cfg.Scheme.Mechanism == core.SharedMem {
-		mp := mem.DefaultParams()
-		if cfg.MemParams != nil {
-			mp = *cfg.MemParams
-		}
+	if cfg.Scheme.Mechanism == core.SharedMem || cfg.Policy != "" {
+		// Policy runs always get a substrate: an adaptive decision may
+		// route any operation through shared memory. Building it is
+		// host-side only, so static:<mech> runs stay byte-identical to
+		// their scheme-based counterparts.
 		shm = mem.New(eng, mach, net, col, mp)
 	}
 	defer shm.Release()
@@ -146,6 +164,18 @@ func RunExperiment(cfg Config) Result {
 	keyRNG := eng.Rand().Fork()
 	tr := Build(rt, shm, tbl, cfg.Scheme, cfg.Params, GenKeys(keyRNG, cfg.InitialKeys, cfg.KeySpace))
 	tr.SMPrefetch = cfg.SMPrefetch
+
+	var pol *policy.Engine
+	if cfg.Policy != "" {
+		var err error
+		pol, err = policy.New(cfg.Policy, model, mp, eng, col, mach.N(), cfg.Seed)
+		if err != nil {
+			panic("btree: " + err.Error())
+		}
+		pol.AttachMem(shm)
+		rt.Obs = pol
+		tr.AttachPolicy(pol)
+	}
 
 	stop := cfg.Warmup + cfg.Measure
 	for i := 0; i < cfg.Threads; i++ {
@@ -200,6 +230,15 @@ func RunExperiment(cfg Config) Result {
 	res.Trace = tracer
 	res.ObjectMoves = rt.Objects.Moves
 	res.Forwards = col.Forwards
+	if pol != nil {
+		res.Policy = pol.Name()
+		ld, id := tr.polLookup.Decisions(), tr.polInsert.Decisions()
+		for m := range res.Decisions {
+			res.Decisions[m] = ld[m] + id[m]
+		}
+		st := pol.Stats()
+		res.PolicyStats = &st
+	}
 	return res
 }
 

@@ -1,0 +1,90 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"compmig/internal/core"
+)
+
+// TestPolicyStaticIdentity: a B-tree run under -policy static:<mech>
+// must simulate the exact same machine as a run hard-wired to <mech>'s
+// scheme — every measured metric matches.
+func TestPolicyStaticIdentity(t *testing.T) {
+	cases := []struct {
+		spec string
+		mech core.Mechanism
+	}{
+		{"static:rpc", core.RPC},
+		{"static:cm", core.Migrate},
+		{"static:sm", core.SharedMem},
+		{"static:om", core.ObjMigrate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			base := Config{InitialKeys: 2000, Threads: 8, Think: 1000, Seed: 11,
+				Warmup: 5000, Measure: 40000, Scheme: core.Scheme{Mechanism: tc.mech}}
+			plain := RunExperiment(base)
+			pol := base
+			pol.Policy = tc.spec
+			adapted := RunExperiment(pol)
+
+			if got, want := metricString(adapted), metricString(plain); got != want {
+				t.Fatalf("policy %s diverged from scheme run:\n policy: %s\n scheme: %s",
+					tc.spec, got, want)
+			}
+			var other uint64
+			for m, c := range adapted.Decisions {
+				if core.Mechanism(m) != tc.mech {
+					other += c
+				}
+			}
+			if other != 0 || adapted.Decisions[tc.mech] == 0 {
+				t.Fatalf("decisions = %v, want all under %v", adapted.Decisions, tc.mech)
+			}
+		})
+	}
+}
+
+// metricString flattens every simulated metric of a Result for equality
+// comparison (host-side fields like Policy and Trace excluded).
+func metricString(r Result) string {
+	return fmt.Sprintf("tput=%v bw=%v ops=%d lat=%v hit=%v wpo=%v rc=%d h=%d p95=%d util=%v moves=%d fwd=%d",
+		r.Throughput, r.Bandwidth, r.Ops, r.MeanLatency, r.HitRate,
+		r.WordsPerOp, r.RootChildren, r.Height, r.P95Latency,
+		r.RootUtilization, r.ObjectMoves, r.Forwards)
+}
+
+// TestPolicyAdaptiveRuns: adaptive policies complete with a valid tree
+// and the costmodel beats the worst static mechanism.
+func TestPolicyAdaptiveRuns(t *testing.T) {
+	base := Config{InitialKeys: 2000, Threads: 8, Think: 1000, Seed: 11,
+		Warmup: 5000, Measure: 40000}
+
+	worst := -1.0
+	for _, m := range []core.Mechanism{core.RPC, core.Migrate, core.SharedMem} {
+		c := base
+		c.Scheme = core.Scheme{Mechanism: m}
+		r := RunExperiment(c)
+		if worst < 0 || r.Throughput < worst {
+			worst = r.Throughput
+		}
+	}
+
+	for _, spec := range []string{"costmodel", "bandit"} {
+		c := base
+		c.Policy = spec
+		r := RunExperiment(c)
+		var total uint64
+		for _, n := range r.Decisions {
+			total += n
+		}
+		if total == 0 {
+			t.Fatalf("%s: no decisions recorded", spec)
+		}
+		if spec == "costmodel" && r.Throughput <= worst {
+			t.Fatalf("costmodel throughput %.3f does not beat worst static %.3f",
+				r.Throughput, worst)
+		}
+	}
+}

@@ -3,9 +3,11 @@ package btree
 import (
 	"sort"
 
+	"compmig/internal/advisor"
 	"compmig/internal/core"
 	"compmig/internal/gid"
 	"compmig/internal/mem"
+	"compmig/internal/policy"
 	"compmig/internal/repl"
 	"compmig/internal/sim"
 )
@@ -60,6 +62,10 @@ type Tree struct {
 	cOp       core.ContID
 	cLookup   core.ContID
 	cDelete   core.ContID
+
+	// Per-call-site policy selectors (nil = static scheme dispatch).
+	polLookup *policy.Site
+	polInsert *policy.Site
 }
 
 // Build bulk-loads a tree with the given sorted-unique keys, placing
@@ -270,7 +276,18 @@ func (tr *Tree) splitLocked(t *core.Task, nd *node) (gid.GID, splitInfo) {
 
 // Lookup reports whether key is present, using the tree's scheme.
 func (tr *Tree) Lookup(t *core.Task, key uint64) bool {
-	switch tr.scheme.Mechanism {
+	if tr.polLookup != nil {
+		mech := tr.polLookup.Begin(t.Proc(), tr.root)
+		start := t.Now()
+		found := tr.lookupWith(t, key, mech)
+		tr.polLookup.End(t.Proc(), mech, uint64(t.Now()-start))
+		return found
+	}
+	return tr.lookupWith(t, key, tr.scheme.Mechanism)
+}
+
+func (tr *Tree) lookupWith(t *core.Task, key uint64, mech core.Mechanism) bool {
+	switch mech {
 	case core.Migrate:
 		return tr.lookupCM(t, key)
 	case core.RPC:
@@ -288,7 +305,18 @@ func (tr *Tree) Insert(t *core.Task, key uint64) bool {
 	if key == MaxKey {
 		panic("btree: MaxKey is reserved")
 	}
-	switch tr.scheme.Mechanism {
+	if tr.polInsert != nil {
+		mech := tr.polInsert.Begin(t.Proc(), tr.root)
+		start := t.Now()
+		added := tr.insertWith(t, key, mech)
+		tr.polInsert.End(t.Proc(), mech, uint64(t.Now()-start))
+		return added
+	}
+	return tr.insertWith(t, key, tr.scheme.Mechanism)
+}
+
+func (tr *Tree) insertWith(t *core.Task, key uint64, mech core.Mechanism) bool {
+	switch mech {
 	case core.Migrate:
 		return tr.insertCM(t, key)
 	case core.RPC:
@@ -299,6 +327,33 @@ func (tr *Tree) Insert(t *core.Task, key uint64) bool {
 		return tr.insertOM(t, key)
 	}
 	panic("btree: unknown mechanism")
+}
+
+// AttachPolicy registers the tree's two operation call sites (lookup and
+// insert) with a policy engine. The static profiles carry the record
+// sizes and shape priors a compiler would emit: a descent visits height
+// nodes, each probed with a short read plus the step/put access.
+func (tr *Tree) AttachPolicy(e *policy.Engine) {
+	chain := float64(tr.height)
+	if chain < 1 {
+		chain = 1
+	}
+	tr.polLookup = e.NewSite("btree.lookup", advisor.SiteProfile{
+		AccessesPerVisit: 2, // peek + step under the per-access style
+		ArgWords:         2, // key
+		ReplyWords:       3, // next gid / found flag
+		ContWords:        6, // key + cursor + bookkeeping
+		ShortMethod:      true,
+		ChainLength:      chain,
+	})
+	tr.polInsert = e.NewSite("btree.insert", advisor.SiteProfile{
+		AccessesPerVisit: 2,
+		ArgWords:         2,
+		ReplyWords:       3,
+		ContWords:        8, // key + cursor + split propagation state
+		ShortMethod:      true,
+		ChainLength:      chain,
+	})
 }
 
 // CheckInvariants walks the whole tree (host-level) verifying B-link

@@ -5,10 +5,12 @@ package countnet
 import (
 	"fmt"
 
+	"compmig/internal/advisor"
 	"compmig/internal/core"
 	"compmig/internal/gid"
 	"compmig/internal/mem"
 	"compmig/internal/msg"
+	"compmig/internal/policy"
 )
 
 // balancer is the private state of one balancer object: a two-by-two
@@ -50,8 +52,9 @@ func (c *counter) take() uint64 {
 // Network is a distributed counting network instance bound to a runtime.
 type Network struct {
 	rt     *core.Runtime
-	shm    *mem.System // nil unless the scheme is SharedMem
+	shm    *mem.System // nil unless the scheme is SharedMem or a policy run
 	scheme core.Scheme
+	pol    *policy.Site // per-traversal mechanism selector (nil = static scheme)
 
 	width        int
 	layout       *Layout
@@ -213,13 +216,43 @@ func (c *traverseCont) Run(t *core.Task) {
 	t.Return(&valueReply{value: ctr.take()})
 }
 
-// Traverse pushes one token in on the given input wire using the
-// network's scheme and returns the counter value it drew.
+// AttachPolicy registers the traversal call site with a policy engine
+// and routes every subsequent Traverse through its decisions. The site's
+// static profile carries what the compiler would know: record sizes and
+// the short-method flag, plus network-shape priors for run and chain
+// length (each balancer is visited once; a traversal crosses stages+1
+// objects).
+func (n *Network) AttachPolicy(e *policy.Engine) {
+	n.pol = e.NewSite("countnet.traverse", advisor.SiteProfile{
+		AccessesPerVisit: 1,
+		ReplyWords:       1,
+		ContWords:        2, // stage + wire
+		ShortMethod:      true,
+		ChainLength:      float64(len(n.stages) + 1),
+	})
+}
+
+// Traverse pushes one token in on the given input wire and returns the
+// counter value it drew. The mechanism is the network's static scheme,
+// or the attached policy's per-operation decision.
 func (n *Network) Traverse(t *core.Task, wire int) uint64 {
 	if wire < 0 || wire >= n.width {
 		panic(fmt.Sprintf("countnet: wire %d out of range", wire))
 	}
-	switch n.scheme.Mechanism {
+	mech := n.scheme.Mechanism
+	if n.pol != nil {
+		bi := n.balForWire[0][wire]
+		mech = n.pol.Begin(t.Proc(), n.balGID[0][bi])
+		start := t.Now()
+		v := n.traverseWith(t, wire, mech)
+		n.pol.End(t.Proc(), mech, uint64(t.Now()-start))
+		return v
+	}
+	return n.traverseWith(t, wire, mech)
+}
+
+func (n *Network) traverseWith(t *core.Task, wire int, mech core.Mechanism) uint64 {
+	switch mech {
 	case core.Migrate:
 		var rep valueReply
 		if err := t.Do(&traverseCont{net: n, wire: uint32(wire)}, &rep); err != nil {

@@ -5,6 +5,7 @@ import (
 	"compmig/internal/cost"
 	"compmig/internal/mem"
 	"compmig/internal/network"
+	"compmig/internal/policy"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
 )
@@ -33,6 +34,12 @@ type Config struct {
 	// the Alewife machine, but without its multithreading capability"):
 	// while one thread stalls on a miss or a reply, another runs.
 	ThreadsPerProc int
+	// Policy, when non-empty, selects the remote-access mechanism per
+	// operation through an internal/policy engine instead of the static
+	// scheme: "static:<mech>", "costmodel", or "bandit[:eps]". The
+	// shared-memory substrate is always built so adaptive policies can
+	// route through it. Scheme still supplies the cost model.
+	Policy string
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -82,6 +89,12 @@ type Result struct {
 	// (nonzero only under the ObjMigrate scheme).
 	ObjectMoves uint64
 	Forwards    uint64
+	// Policy names the policy a policy run used ("" for static schemes);
+	// Decisions counts its per-mechanism choices indexed by
+	// core.Mechanism; PolicyStats is the engine's final statistics dump.
+	Policy      string
+	Decisions   [4]uint64
+	PolicyStats *policy.Stats
 }
 
 // RunExperiment builds a fresh machine, runs the workload, and reports
@@ -114,16 +127,32 @@ func RunExperiment(cfg Config) Result {
 	net := network.New(eng, topo, col, model.NetTransitBase, perHop)
 	rt := core.New(eng, mach, net, col, model)
 
+	mp := mem.DefaultParams()
+	if cfg.MemParams != nil {
+		mp = *cfg.MemParams
+	}
 	var shm *mem.System
-	if cfg.Scheme.Mechanism == core.SharedMem {
-		mp := mem.DefaultParams()
-		if cfg.MemParams != nil {
-			mp = *cfg.MemParams
-		}
+	if cfg.Scheme.Mechanism == core.SharedMem || cfg.Policy != "" {
+		// Policy runs always get a substrate: an adaptive decision may
+		// route any operation through shared memory. Building it is
+		// host-side only, so static:<mech> runs stay byte-identical to
+		// their scheme-based counterparts.
 		shm = mem.New(eng, mach, net, col, mp)
 	}
 	defer shm.Release()
 	n := Build(rt, shm, cfg.Scheme, cfg.Width)
+
+	var pol *policy.Engine
+	if cfg.Policy != "" {
+		var err error
+		pol, err = policy.New(cfg.Policy, model, mp, eng, col, mach.N(), cfg.Seed)
+		if err != nil {
+			panic("countnet: " + err.Error())
+		}
+		pol.AttachMem(shm)
+		rt.Obs = pol
+		n.AttachPolicy(pol)
+	}
 
 	stop := cfg.Warmup + cfg.Measure
 	rng := eng.Rand().Fork()
@@ -174,6 +203,12 @@ func RunExperiment(cfg Config) Result {
 	res.Trace = tracer
 	res.ObjectMoves = rt.Objects.Moves
 	res.Forwards = col.Forwards
+	if pol != nil {
+		res.Policy = pol.Name()
+		res.Decisions = n.pol.Decisions()
+		st := pol.Stats()
+		res.PolicyStats = &st
+	}
 	return res
 }
 

@@ -1,0 +1,101 @@
+package countnet
+
+import (
+	"fmt"
+	"testing"
+
+	"compmig/internal/core"
+)
+
+// TestPolicyStaticIdentity is the policy layer's core contract at the
+// app level: a run under -policy static:<mech> simulates the exact same
+// machine as a run hard-wired to <mech>'s scheme — every measured metric
+// matches, not just the headline throughput.
+func TestPolicyStaticIdentity(t *testing.T) {
+	cases := []struct {
+		spec string
+		mech core.Mechanism
+	}{
+		{"static:rpc", core.RPC},
+		{"static:cm", core.Migrate},
+		{"static:sm", core.SharedMem},
+		{"static:om", core.ObjMigrate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			base := Config{Threads: 16, Think: 1000, Seed: 7,
+				Warmup: 5000, Measure: 40000, Scheme: core.Scheme{Mechanism: tc.mech}}
+			plain := RunExperiment(base)
+			pol := base
+			pol.Policy = tc.spec
+			adapted := RunExperiment(pol)
+
+			if got, want := metricString(adapted), metricString(plain); got != want {
+				t.Fatalf("policy %s diverged from scheme run:\n policy: %s\n scheme: %s",
+					tc.spec, got, want)
+			}
+			if adapted.Policy != tc.spec {
+				t.Fatalf("Policy label = %q, want %q", adapted.Policy, tc.spec)
+			}
+			var other uint64
+			for m, c := range adapted.Decisions {
+				if core.Mechanism(m) != tc.mech {
+					other += c
+				}
+			}
+			if other != 0 || adapted.Decisions[tc.mech] == 0 {
+				t.Fatalf("decisions = %v, want all under %v", adapted.Decisions, tc.mech)
+			}
+		})
+	}
+}
+
+// metricString flattens every simulated metric of a Result for equality
+// comparison (host-side fields like Policy and Trace excluded).
+func metricString(r Result) string {
+	return fmt.Sprintf("tput=%v bw=%v ops=%d lat=%v msgs=%d wpo=%v hit=%v p95=%d util=%v moves=%d fwd=%d",
+		r.Throughput, r.Bandwidth, r.Ops, r.MeanLatency, r.Messages,
+		r.WordsPerOp, r.HitRate, r.P95Latency, r.EntryUtilization,
+		r.ObjectMoves, r.Forwards)
+}
+
+// TestPolicyAdaptiveRuns exercises the costmodel and bandit policies
+// end to end: the run completes, every operation got a decision, and the
+// costmodel's throughput is at least that of the worst static mechanism.
+func TestPolicyAdaptiveRuns(t *testing.T) {
+	base := Config{Threads: 16, Think: 1000, Seed: 7, Warmup: 5000, Measure: 40000}
+
+	worst := -1.0
+	best := -1.0
+	for _, m := range []core.Mechanism{core.RPC, core.Migrate, core.SharedMem} {
+		c := base
+		c.Scheme = core.Scheme{Mechanism: m}
+		r := RunExperiment(c)
+		if worst < 0 || r.Throughput < worst {
+			worst = r.Throughput
+		}
+		if r.Throughput > best {
+			best = r.Throughput
+		}
+	}
+
+	for _, spec := range []string{"costmodel", "bandit"} {
+		c := base
+		c.Policy = spec
+		r := RunExperiment(c)
+		var total uint64
+		for _, n := range r.Decisions {
+			total += n
+		}
+		if total == 0 {
+			t.Fatalf("%s: no decisions recorded", spec)
+		}
+		if r.PolicyStats == nil || len(r.PolicyStats.Sites) == 0 {
+			t.Fatalf("%s: missing policy stats", spec)
+		}
+		if spec == "costmodel" && r.Throughput <= worst {
+			t.Fatalf("costmodel throughput %.3f does not beat worst static %.3f (best %.3f)",
+				r.Throughput, worst, best)
+		}
+	}
+}

@@ -76,6 +76,9 @@ func (t *Task) PullObject(g gid.GID, stateWords uint64) {
 	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "obj-fetch", Payload: payload},
 		rt.deliverFetch)
 	fut.Wait(t.th)
+	if rt.Obs != nil {
+		rt.Obs.ObjectPull(t.proc.ID(), g, int(stateWords))
+	}
 	rt.learn(t.proc.ID(), g, t.proc.ID())
 }
 

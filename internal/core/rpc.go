@@ -52,6 +52,9 @@ func (t *Task) Call(g gid.GID, method MethodID, args msg.Marshaler, out msg.Unma
 		rt.deliverRPC)
 
 	reply := fut.Wait(t.th).([]uint32)
+	if rt.Obs != nil {
+		rt.Obs.RemoteCall(t.proc.ID(), g, len(payload), len(reply), ent.short)
+	}
 	// Piggybacked location information: the reply tells the caller where
 	// the object really was.
 	rt.learn(t.proc.ID(), g, rt.Objects.Home(g))

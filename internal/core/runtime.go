@@ -102,6 +102,24 @@ func (s Scheme) Model() cost.Model {
 	return m
 }
 
+// AccessObserver receives host-side notifications about remote accesses
+// as the runtime dispatches them. Implementations must be simulation-
+// inert: no events, no simulated cycles, no draws from the engine's PRNG
+// — an observed run must stay byte-identical to an unobserved one. The
+// origin argument is always the processor where the operation's reply
+// linkage lives (the processor that started the operation), not the
+// processor the hook happens to execute on.
+type AccessObserver interface {
+	// RemoteCall reports one RPC request/reply pair against object g.
+	RemoteCall(origin int, g gid.GID, reqWords, replyWords int, short bool)
+	// MigrateHop reports one computation-migration hop toward object g
+	// carrying a continuation of contWords payload words.
+	MigrateHop(origin int, g gid.GID, contWords int)
+	// ObjectPull reports one Emerald-style whole-object move of g to
+	// origin carrying stateWords of object state.
+	ObjectPull(origin int, g gid.GID, stateWords int)
+}
+
 // MethodID names a registered instance method.
 type MethodID uint32
 
@@ -172,6 +190,10 @@ type Runtime struct {
 	// Activations counts migration activations started here (for Table 5
 	// averaging); Migrations counts migrate messages sent.
 	Activations uint64
+
+	// Obs, when non-nil, is notified of every remote access the runtime
+	// dispatches (see AccessObserver). It must be simulation-inert.
+	Obs AccessObserver
 }
 
 // New creates a runtime over an existing machine and network.

@@ -140,6 +140,11 @@ func (t *Task) Migrate(g gid.GID, contID ContID, next Continuation) {
 	next.MarshalWords(w)
 	payload := w.Words()
 	words := uint64(len(payload)) + network.HeaderWords
+	if rt.Obs != nil {
+		// The reply linkage identifies the operation's originating
+		// processor regardless of how many hops the chain has taken.
+		rt.Obs.MigrateHop(t.reply.proc, g, len(payload))
+	}
 
 	// Client-stub send path runs on the current processor.
 	t.th.Exec(t.proc, rt.chargeSend(words))

@@ -149,6 +149,20 @@ func countnetSchemes() []core.Scheme {
 	}
 }
 
+// abPolicyStatic, when true, reroutes every scheme-driven experiment
+// config through the policy engine pinned to the scheme's own mechanism
+// (Policy: "static:<mech>"). The A/B identity suite uses it to assert
+// that the policy layer reproduces every rendered table byte-identically
+// when it always decides what the static scheme would have done.
+var abPolicyStatic bool
+
+func abPolicy(m core.Mechanism) string {
+	if !abPolicyStatic {
+		return ""
+	}
+	return "static:" + strings.ToLower(m.String())
+}
+
 // threadCounts are Figure 2/3's x axis.
 func threadCounts(quick bool) []int {
 	if quick {
@@ -160,7 +174,7 @@ func threadCounts(quick bool) []int {
 // ExperimentIDs lists every experiment id Run accepts, excluding "all".
 func ExperimentIDs() []string {
 	return []string{"fig1", "fig2", "fig3", "table1", "table2", "table3",
-		"table4", "table5", "smallnode", "ext-objmig"}
+		"table4", "table5", "smallnode", "ext-objmig", "ext-policy"}
 }
 
 // plan maps an experiment id to the sweeps it needs plus an optional
@@ -187,13 +201,16 @@ func plan(id string, o Options) ([]experiment, string, error) {
 		return []experiment{smallNodeExp(o)}, "", nil
 	case "ext-objmig":
 		return []experiment{objMigExp(o), btreeObjMigExp(o)}, "", nil
+	case "ext-policy":
+		return []experiment{policyExp(o), btreePolicyExp(o)}, "", nil
 	case "all":
 		return []experiment{
 			fig1Exp(o), countnetExp(o), btree12Exp(o), btree34Exp(o),
 			table5Exp(o), smallNodeExp(o), objMigExp(o), btreeObjMigExp(o),
+			policyExp(o), btreePolicyExp(o),
 		}, "", nil
 	default:
-		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, all)", id)
+		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, all)", id)
 	}
 }
 
@@ -245,6 +262,7 @@ func countnetExp(o Options) experiment {
 				cfg := countnet.Config{
 					Threads: n, Think: think, Scheme: s,
 					Seed: o.seed(), Warmup: warmup, Measure: measure,
+					Policy: abPolicy(s.Mechanism),
 				}
 				specs = append(specs, RunSpec{
 					Label: fmt.Sprintf("countnet/%s/think=%d/threads=%d", s.Name(), think, n),
@@ -325,6 +343,7 @@ func btree12Exp(o Options) experiment {
 		cfg := btree.Config{
 			Scheme: s, Think: 0, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
+			Policy: abPolicy(s.Mechanism),
 		}
 		specs = append(specs, RunSpec{
 			Label: "table1/" + s.Name(),
@@ -379,6 +398,7 @@ func btree34Exp(o Options) experiment {
 		cfg := btree.Config{
 			Scheme: s, Think: 10000, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
+			Policy: abPolicy(s.Mechanism),
 		}
 		specs = append(specs, RunSpec{
 			Label: "table3/" + s.Name(),
@@ -430,6 +450,7 @@ func smallNodeExp(o Options) experiment {
 		cfg := btree.Config{
 			Params: p, Scheme: s, Think: 0, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
+			Policy: abPolicy(s.Mechanism),
 		}
 		specs = append(specs, RunSpec{
 			Label: "smallnode/" + s.Name(),

@@ -8,8 +8,8 @@ import (
 )
 
 // ParseScheme parses a command-line scheme spec: a mechanism ("rpc",
-// "cm", or "sm") optionally followed by "+hw" and/or "+repl", e.g.
-// "cm+repl+hw".
+// "cm", "sm", or "om") optionally followed by "+hw" and/or "+repl",
+// e.g. "cm+repl+hw".
 func ParseScheme(spec string) (core.Scheme, error) {
 	parts := strings.Split(strings.ToLower(strings.TrimSpace(spec)), "+")
 	var s core.Scheme
@@ -20,8 +20,10 @@ func ParseScheme(spec string) (core.Scheme, error) {
 		s.Mechanism = core.Migrate
 	case "sm", "shm", "sharedmem":
 		s.Mechanism = core.SharedMem
+	case "om", "obj", "objmigrate":
+		s.Mechanism = core.ObjMigrate
 	default:
-		return s, fmt.Errorf("unknown mechanism %q (want rpc, cm, or sm)", parts[0])
+		return s, fmt.Errorf("unknown mechanism %q (want rpc, cm, sm, or om)", parts[0])
 	}
 	for _, opt := range parts[1:] {
 		switch opt {

@@ -356,6 +356,12 @@ type System struct {
 	nFastLocal uint64 // misses completed inline at the home module
 	nSlow      uint64 // line accesses through the event-driven protocol
 
+	// modInval[p] counts invalidations of lines homed on module p — the
+	// per-object write-sharing pressure signal the policy layer reads
+	// (objects are homed with their lines, so a hot object's invalidation
+	// storm shows up at its home module).
+	modInval []uint64
+
 	caches  []*cache
 	modules []*sim.Proc // memory-module serial servers (not CPU procs)
 	dirs    []map[Addr]*dirEntry
@@ -407,6 +413,7 @@ func New(eng *sim.Engine, mach *sim.Machine, net *network.Network, col *stats.Co
 		dirs:     make([]map[Addr]*dirEntry, mach.N()),
 		heaps:    make([]uint64, mach.N()),
 		inflight: make([]map[Addr]*sim.Future, mach.N()),
+		modInval: make([]uint64, mach.N()),
 	}
 	for i := 0; i < mach.N(); i++ {
 		s.caches[i] = newCache(p)
@@ -466,6 +473,11 @@ func (s *System) Collector() *stats.Collector { return s.col }
 // ModuleUtilization returns the busy fraction of processor p's memory
 // module (used to demonstrate the resource-contention results).
 func (s *System) ModuleUtilization(p int) float64 { return s.modules[p].Utilization() }
+
+// ModuleInvalidations returns the number of invalidations of lines homed
+// on processor p's module so far — the write-sharing pressure signal the
+// policy layer samples per object home.
+func (s *System) ModuleInvalidations(p int) uint64 { return s.modInval[p] }
 
 func (s *System) dir(line Addr) *dirEntry {
 	home := HomeOf(line)
@@ -841,6 +853,7 @@ func (t *txn) run() {
 		s.send(t.home, q, 0, func() {
 			s.caches[q].drop(t.line)
 			s.col.Invalidations++
+			s.modInval[t.home]++
 			s.send(q, t.home, 0, t.ackFn)
 		})
 	}
@@ -853,6 +866,7 @@ func (t *txn) recall() {
 	if t.write {
 		s.caches[t.owner].drop(t.line)
 		s.col.Invalidations++
+		s.modInval[t.home]++
 	} else if s.caches[t.owner].drop(t.line) == modified {
 		s.caches[t.owner].install(t.line, shared)
 	}

@@ -51,6 +51,10 @@ var (
 	MemSlow      Section // accesses through the event-driven protocol
 	NetSends     Section // messages injected into the simulated network
 	HeapOps      Section // event-heap pushes
+	PolicyRPC    Section // policy decisions that chose RPC
+	PolicyCM     Section // policy decisions that chose computation migration
+	PolicySM     Section // policy decisions that chose shared memory
+	PolicyOM     Section // policy decisions that chose object migration
 )
 
 // Stat is one row of a snapshot.
@@ -68,6 +72,10 @@ func Snapshot() []Stat {
 		{"mem.slow", MemSlow.Count.Load(), MemSlow.Ns.Load()},
 		{"net.sends", NetSends.Count.Load(), NetSends.Ns.Load()},
 		{"engine.heap_pushes", HeapOps.Count.Load(), HeapOps.Ns.Load()},
+		{"policy.rpc", PolicyRPC.Count.Load(), PolicyRPC.Ns.Load()},
+		{"policy.cm", PolicyCM.Count.Load(), PolicyCM.Ns.Load()},
+		{"policy.sm", PolicySM.Count.Load(), PolicySM.Ns.Load()},
+		{"policy.om", PolicyOM.Count.Load(), PolicyOM.Ns.Load()},
 	}
 }
 

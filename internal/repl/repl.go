@@ -47,6 +47,20 @@ func (tb *Table) Replicate(g gid.GID, state any, sizeWords uint64) {
 	tb.entries[g] = &entry{version: 1, state: state, sizeWords: sizeWords}
 }
 
+// Drop stops replicating g, returning the final snapshot and its
+// version so the caller can seed whatever mechanism takes over (e.g. a
+// policy switching the object from replication to migration mid-run).
+// Subsequent Reads of g panic; in-flight update broadcasts are
+// unaffected — they only adjust per-processor accounting.
+func (tb *Table) Drop(g gid.GID) (state any, version uint64) {
+	e, ok := tb.entries[g]
+	if !ok {
+		panic("repl: Drop of unreplicated object")
+	}
+	delete(tb.entries, g)
+	return e.state, e.version
+}
+
 // IsReplicated reports whether g has local replicas.
 func (tb *Table) IsReplicated(g gid.GID) bool {
 	_, ok := tb.entries[g]

@@ -110,6 +110,93 @@ func TestIsReplicated(t *testing.T) {
 	}
 }
 
+// TestDropSwitchesToMigrationMidRun drives the replication table the way
+// an online policy would: writers publish new versions concurrently
+// (each publish broadcasts invalidating updates to every processor)
+// while a policy thread switches the object from replication to
+// migration mid-run by calling Drop and routing later writes through the
+// object's home. Every increment must survive the handoff, and the whole
+// interleaving must be deterministic.
+func TestDropSwitchesToMigrationMidRun(t *testing.T) {
+	const (
+		nprocs     = 8
+		nwriters   = 6
+		increments = 10
+	)
+	type counterState struct{ n int }
+
+	run := func() (final, version int, updates uint64) {
+		eng, rt, tbl, col := newRig(nprocs)
+		g := rt.Objects.New(0, &counterState{})
+		tbl.Replicate(g, rt.Objects.State(g), 4)
+
+		var (
+			lock     sim.Mutex
+			migrated *counterState
+		)
+		for w := 0; w < nwriters; w++ {
+			w := w
+			eng.Spawn("writer", sim.Time(w*7), func(th *sim.Thread) {
+				task := rt.NewTask(th, w%nprocs)
+				for i := 0; i < increments; i++ {
+					lock.Lock(th)
+					if tbl.IsReplicated(g) {
+						cur := tbl.Read(task, g).(*counterState)
+						tbl.Publish(task, g, &counterState{n: cur.n + 1}, 4)
+					} else {
+						// Migration path: mutate the single home copy.
+						task.Work(20)
+						migrated.n++
+					}
+					lock.Unlock(th)
+					th.Sleep(sim.Time(50 + w*13))
+				}
+			})
+		}
+		eng.Spawn("policy-switch", 2500, func(th *sim.Thread) {
+			lock.Lock(th)
+			st, _ := tbl.Drop(g)
+			migrated = st.(*counterState)
+			lock.Unlock(th)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if tbl.IsReplicated(g) {
+			t.Fatal("object still replicated after Drop")
+		}
+		if migrated == nil {
+			t.Fatal("policy switch never ran")
+		}
+		return migrated.n, int(col.ReplicaWrites) + 1, col.Messages["repl-update"]
+	}
+
+	final, version, updates := run()
+	if final != nwriters*increments {
+		t.Fatalf("lost updates across the switch: counter = %d, want %d",
+			final, nwriters*increments)
+	}
+	if updates == 0 {
+		t.Fatal("no update broadcasts before the switch: switch happened too early to test anything")
+	}
+	f2, v2, u2 := run()
+	if f2 != final || v2 != version || u2 != updates {
+		t.Fatalf("nondeterministic interleaving: run1=(%d,%d,%d) run2=(%d,%d,%d)",
+			final, version, updates, f2, v2, u2)
+	}
+}
+
+func TestDropUnreplicatedPanics(t *testing.T) {
+	_, rt, tbl, _ := newRig(2)
+	g := rt.Objects.New(0, &rootState{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drop of unreplicated object did not panic")
+		}
+	}()
+	tbl.Drop(g)
+}
+
 func TestDoubleReplicatePanics(t *testing.T) {
 	_, rt, tbl, _ := newRig(2)
 	g := rt.Objects.New(0, &rootState{})
