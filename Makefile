@@ -1,19 +1,20 @@
 # make check is the CI gate: vet, build, tests, the race detector (the
-# harness worker pool is real host-side concurrency), the fast-path and
-# policy A/B identity tests, a short fuzz pass over the wire codec, a
-# quick parallel smoke run of the full evaluation suite, and a benchdiff
-# smoke against the committed baseline report.
+# harness worker pool is real host-side concurrency), the fast-path,
+# policy, and fault A/B identity tests, a short fuzz pass over the wire
+# codec and the fault-plan parser, a quick parallel smoke run of the
+# full evaluation suite, a faulty smoke run with invariant checking, and
+# a benchdiff smoke against the committed baseline report.
 
 GO ?= go
 
 # Committed full-scale benchmark reports, oldest first; benchdiff-smoke
 # compares the two most recent.
-BENCH_BASELINE := BENCH_2026-08-06-fastpath.json
-BENCH_CURRENT  := BENCH_2026-08-06-policy.json
+BENCH_BASELINE := BENCH_2026-08-06-policy.json
+BENCH_CURRENT  := BENCH_2026-08-06-fault.json
 
-.PHONY: check vet build test race ab-identity fuzz-smoke smoke benchdiff-smoke bench-gate bench bench-json
+.PHONY: check vet build test race ab-identity fuzz-smoke smoke fault-smoke benchdiff-smoke bench-gate bench bench-json
 
-check: vet build test race ab-identity fuzz-smoke smoke benchdiff-smoke
+check: vet build test race ab-identity fuzz-smoke smoke fault-smoke benchdiff-smoke
 	@echo "check: all green"
 
 vet:
@@ -35,19 +36,33 @@ ab-identity:
 	$(GO) test ./internal/harness/ -run TestFastPathABIdentity -count=1
 	$(GO) test ./internal/mem/ -run TestFastPathCollectorIdentity -count=1
 	$(GO) test ./internal/harness/ -run TestPolicyStaticABIdentity -count=1
-	@echo "ab-identity: fast paths and static policies are observationally equivalent"
+	$(GO) test ./internal/harness/ -run TestFaultZeroSpecIsByteIdentical -count=1
+	@echo "ab-identity: fast paths, static policies, and zero fault plans are observationally equivalent"
 
-# fuzz-smoke runs each msg codec fuzz target briefly over the committed
-# seed corpus (internal/msg/testdata/fuzz) plus fresh mutations; a
-# decoding panic or round-trip mismatch fails the build.
+# fuzz-smoke runs the msg codec and fault-plan parser fuzz targets
+# briefly over their seed corpora plus fresh mutations; a decoding
+# panic or round-trip mismatch fails the build.
 fuzz-smoke:
 	$(GO) test ./internal/msg/ -run '^$$' -fuzz FuzzReaderNeverPanics -fuzztime 5s
 	$(GO) test ./internal/msg/ -run '^$$' -fuzz FuzzWriterReaderRoundTrip -fuzztime 5s
-	@echo "fuzz-smoke: msg codec survived fuzzing"
+	$(GO) test ./internal/fault/ -run '^$$' -fuzz FuzzParseSpec -fuzztime 5s
+	@echo "fuzz-smoke: msg codec and fault-plan parser survived fuzzing"
 
 smoke:
 	$(GO) run ./cmd/paperfigs -exp all -quick -workers 4 > /dev/null
 	@echo "smoke: paperfigs -exp all -quick -workers 4 ok"
+
+# fault-smoke drives both applications through a faulty run end to end:
+# the ext-fault sweep (invariant checkers run inside, and the harness
+# test asserts every cell is "ok"), plus one CLI run per app under a
+# plan with drop, duplication, jitter, and a mid-run crash window — a
+# nonzero exit means an invariant was violated or a run hung.
+fault-smoke:
+	$(GO) run ./cmd/paperfigs -exp ext-fault -quick -workers 4 > /dev/null
+	$(GO) test ./internal/harness/ -run TestFaultSweepInvariantsHold -count=1
+	$(GO) run ./cmd/countnet -scheme cm -faults 'drop=0.03,dup=0.01,delay=0:40,crash=p3@30000+10000,seed=7' -measure 100000 > /dev/null
+	$(GO) run ./cmd/btree -scheme rpc -faults 'drop=0.03,dup=0.01,delay=0:40,crash=p5@30000+10000,seed=7' -measure 100000 > /dev/null
+	@echo "fault-smoke: both applications recovered with invariants intact"
 
 # benchdiff-smoke exercises the diff tool against the committed reports.
 # No -threshold: recorded wall clocks are from different commits of the

@@ -29,15 +29,30 @@ func main() {
 	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm|om with +hw/+repl (e.g. cm+repl+hw)")
 	policySpec := flag.String("policy", "", "online mechanism selection: static:<rpc|cm|sm|om>, costmodel, or bandit[:eps]")
 	policyStats := flag.String("policy-stats", "", "write the policy engine's live statistics as JSON to this file (requires -policy)")
+	faultsSpec := flag.String("faults", "", "fault plan, e.g. drop=0.01,dup=0.005,delay=0:40,crash=p3@50000+20000,seed=7 (empty = no faults)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
 	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
 	trace := flag.Int("trace", 0, "dump the last N simulation events to stderr")
 	flag.Parse()
 
+	if *fanout <= 0 || *keys <= 0 || *procs <= 0 || *threads <= 0 {
+		fmt.Fprintf(os.Stderr, "btree: -fanout, -keys, -nodeprocs, and -threads must be positive (got %d, %d, %d, %d)\n",
+			*fanout, *keys, *procs, *threads)
+		os.Exit(2)
+	}
+	if *lookup < 0 || *lookup > 1 {
+		fmt.Fprintf(os.Stderr, "btree: -lookups wants a fraction in [0,1], got %g\n", *lookup)
+		os.Exit(2)
+	}
 	scheme, err := harness.ParseScheme(*schemeSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faults, err := harness.ParseFaults(*faultsSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btree:", err)
 		os.Exit(2)
 	}
 	if *policyStats != "" && *policySpec == "" {
@@ -57,7 +72,7 @@ func main() {
 		Params: p, InitialKeys: *keys, Threads: *threads, Think: *think,
 		LookupFrac: *lookup, Scheme: scheme, Seed: *seed,
 		Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
-		TraceCap: *trace, Policy: *policySpec,
+		TraceCap: *trace, Policy: *policySpec, Faults: faults,
 	})
 	if *policyStats != "" {
 		data, err := json.MarshalIndent(r.PolicyStats, "", "  ")
@@ -91,5 +106,16 @@ func main() {
 	fmt.Printf("root children     %d\n", r.RootChildren)
 	if r.HitRate > 0 {
 		fmt.Printf("cache hit rate    %.1f%%\n", r.HitRate*100)
+	}
+	if r.Fault != nil {
+		fmt.Printf("faults injected   drop:%d dup:%d crash:%d pause:%d\n",
+			r.Fault.Dropped, r.Fault.Duplicated, r.Fault.CrashDropped, r.Fault.PauseDelayed)
+		fmt.Printf("fault recovery    retransmits:%d timeouts:%d dup-suppressed:%d giveups:%d\n",
+			r.Fault.Retransmits, r.Fault.Timeouts, r.Fault.DupSuppressed, r.Fault.GiveUps)
+		if r.InvariantErr != "" {
+			fmt.Fprintln(os.Stderr, "btree: INVARIANT VIOLATED:", r.InvariantErr)
+			os.Exit(1)
+		}
+		fmt.Printf("invariants        ok\n")
 	}
 }

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig|ext-policy]
+//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig|ext-policy|ext-fault]
 //	          [-quick] [-seed N] [-format text|md] [-workers N] [-bench-json out.json]
-//	          [-profile] [-cpuprofile out.pb] [-memprofile out.pb] [-fastpath=false]
+//	          [-faults SPEC] [-profile] [-cpuprofile out.pb] [-memprofile out.pb] [-fastpath=false]
 //
 // Independent simulation jobs run on a pool of -workers host goroutines
 // (default: one per CPU); the rendered tables are byte-identical for any
@@ -18,6 +18,11 @@
 // run; -cpuprofile/-memprofile write standard pprof profiles. -fastpath
 // =false forces every memory access through the event-driven protocol —
 // the rendered tables must not change, only the host-side speed.
+//
+// -faults applies a deterministic fault plan (internal/fault grammar,
+// e.g. drop=0.01,dup=0.005,delay=0:40,seed=7) to every config-driven
+// experiment; the ext-fault experiment runs its own rate sweep and
+// ignores the flag.
 package main
 
 import (
@@ -36,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, all")
 	quick := flag.Bool("quick", false, "short measurement windows (smoke run)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	format := flag.String("format", "text", "output format: text or md")
@@ -46,7 +51,18 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file")
 	fastPath := flag.Bool("fastpath", true, "enable the shared-memory inline fast paths (disable for A/B checks)")
+	faultsSpec := flag.String("faults", "", "fault plan applied to config-driven experiments, e.g. drop=0.01,dup=0.005,delay=0:40 (empty = no faults)")
 	flag.Parse()
+
+	if *format != "text" && *format != "md" {
+		fmt.Fprintf(os.Stderr, "paperfigs: -format wants text or md, got %q\n", *format)
+		os.Exit(2)
+	}
+	faults, err := harness.ParseFaults(*faultsSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(2)
+	}
 
 	mem.SetFastPath(*fastPath)
 	if *prof {
@@ -85,7 +101,7 @@ func main() {
 		}
 	}()
 
-	o := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	o := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers, Faults: faults}
 
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *exp, o); err != nil {
@@ -145,9 +161,9 @@ func runBench(path, exp string, o harness.Options) error {
 	if exp == "all" {
 		// One id per independent sweep (fig3 shares fig2's, table2/4
 		// share table1/3's), plus the full suite.
-		ids = []string{"fig1", "fig2", "table1", "table3", "table5", "smallnode", "ext-objmig", "ext-policy", "all"}
+		ids = []string{"fig1", "fig2", "table1", "table3", "table5", "smallnode", "ext-objmig", "ext-policy", "ext-fault", "all"}
 	}
-	parallel := harness.Options{Quick: o.Quick, Seed: o.Seed, Workers: o.Workers}
+	parallel := harness.Options{Quick: o.Quick, Seed: o.Seed, Workers: o.Workers, Faults: o.Faults}
 	serial := parallel
 	serial.Workers = 1
 

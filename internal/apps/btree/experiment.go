@@ -1,11 +1,13 @@
 package btree
 
 import (
+	"fmt"
 	"slices"
 	"sync"
 
 	"compmig/internal/core"
 	"compmig/internal/cost"
+	"compmig/internal/fault"
 	"compmig/internal/mem"
 	"compmig/internal/network"
 	"compmig/internal/policy"
@@ -48,6 +50,9 @@ type Config struct {
 	// shared-memory substrate is always built so adaptive policies can
 	// route through it. Scheme still supplies the cost model.
 	Policy string
+	// Faults, when it enables any fault, attaches a deterministic fault
+	// injector to the network and runs the post-run invariant checker.
+	Faults *fault.Spec
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -110,6 +115,11 @@ type Result struct {
 	Policy      string
 	Decisions   [4]uint64
 	PolicyStats *policy.Stats
+	// Fault holds the injected-fault and recovery counters of a faulty
+	// run (nil when no fault plan was active); InvariantErr is the
+	// post-run integrity checker's verdict ("" = all invariants held).
+	Fault        *fault.Counters
+	InvariantErr string
 }
 
 // RunExperiment builds a fresh machine and tree, runs the mixed
@@ -141,6 +151,17 @@ func RunExperiment(cfg Config) Result {
 		}
 	}
 	net := network.New(eng, topo, col, model.NetTransitBase, perHop)
+	var inj *fault.Injector
+	if cfg.Faults.Enabled() {
+		inj = fault.NewInjector(cfg.Faults)
+		net.AttachFaults(inj)
+		for _, w := range inj.Windows() {
+			if w.Proc < 0 || w.Proc >= mach.N() {
+				panic(fmt.Sprintf("btree: fault window targets proc %d, machine has [0,%d)", w.Proc, mach.N()))
+			}
+			mach.Proc(w.Proc).AddDownWindow(w.Start, w.End())
+		}
+	}
 	rt := core.New(eng, mach, net, col, model)
 
 	mp := mem.DefaultParams()
@@ -162,8 +183,17 @@ func RunExperiment(cfg Config) Result {
 	}
 
 	keyRNG := eng.Rand().Fork()
-	tr := Build(rt, shm, tbl, cfg.Scheme, cfg.Params, GenKeys(keyRNG, cfg.InitialKeys, cfg.KeySpace))
+	initialKeys := GenKeys(keyRNG, cfg.InitialKeys, cfg.KeySpace)
+	tr := Build(rt, shm, tbl, cfg.Scheme, cfg.Params, initialKeys)
 	tr.SMPrefetch = cfg.SMPrefetch
+
+	// inserted tracks keys the workload successfully added, for the
+	// post-run key-set integrity check. Allocated only under faults so
+	// the fault-free path stays untouched.
+	var inserted map[uint64]struct{}
+	if inj != nil {
+		inserted = make(map[uint64]struct{})
+	}
 
 	var pol *policy.Engine
 	if cfg.Policy != "" {
@@ -196,8 +226,8 @@ func RunExperiment(cfg Config) Result {
 				key := 1 + rng.Uint64n(span)
 				if rng.Float64() < cfg.LookupFrac {
 					tr.Lookup(task, key)
-				} else {
-					tr.Insert(task, key)
+				} else if added := tr.Insert(task, key); added && inserted != nil {
+					inserted[key] = struct{}{}
 				}
 				col.CountOp(uint64(th.Now() - start))
 				if cfg.Think > 0 {
@@ -238,6 +268,14 @@ func RunExperiment(cfg Config) Result {
 		}
 		st := pol.Stats()
 		res.PolicyStats = &st
+	}
+	if inj != nil {
+		c := inj.Counters
+		res.Fault = &c
+		inj.FlushProfile()
+		if err := tr.VerifyKeySet(initialKeys, inserted); err != nil {
+			res.InvariantErr = err.Error()
+		}
 	}
 	return res
 }

@@ -28,7 +28,9 @@ func nodeStateWords(nd *node) uint64 {
 func (tr *Tree) pullNode(t *core.Task, g gid.GID) *node {
 	for !t.IsLocal(g) {
 		nd := tr.rt.Objects.State(g).(*node)
-		t.PullObject(g, nodeStateWords(nd))
+		if err := t.PullObject(g, nodeStateWords(nd)); err != nil {
+			panic("btree: node pull failed: " + err.Error())
+		}
 	}
 	return tr.rt.Objects.State(g).(*node)
 }

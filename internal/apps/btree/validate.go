@@ -77,3 +77,52 @@ func (tr *Tree) AllKeys() []uint64 {
 
 // KeyCount returns the number of stored keys.
 func (tr *Tree) KeyCount() int { return len(tr.AllKeys()) }
+
+// VerifyKeySet checks the tree's full post-run integrity: structural
+// B-link invariants (CheckInvariants), plus exact key-set equality
+// against the initial load and the host-tracked set of successfully
+// inserted keys. Fault-injected runs use it to prove recovery preserved
+// exactly-once semantics — a lost insert shows up as a missing key, a
+// replayed one as a duplicate.
+func (tr *Tree) VerifyKeySet(initial []uint64, inserted map[uint64]struct{}) error {
+	if err := tr.CheckInvariants(); err != nil {
+		return err
+	}
+	got := tr.AllKeys()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			return fmt.Errorf("btree: leaf keys not strictly increasing: %d then %d (duplicate insert?)",
+				got[i-1], got[i])
+		}
+	}
+	gotSet := make(map[uint64]struct{}, len(got))
+	for _, k := range got {
+		gotSet[k] = struct{}{}
+	}
+	// Iterate the expectations in deterministic order so a given failure
+	// always reports the same key.
+	for _, k := range initial {
+		if _, ok := gotSet[k]; !ok {
+			return fmt.Errorf("btree: initial key %d lost", k)
+		}
+	}
+	lost := uint64(0)
+	for k := range inserted {
+		if _, ok := gotSet[k]; !ok && (lost == 0 || k < lost) {
+			lost = k
+		}
+	}
+	if lost != 0 {
+		return fmt.Errorf("btree: inserted key %d lost", lost)
+	}
+	want := len(inserted)
+	for _, k := range initial {
+		if _, dup := inserted[k]; !dup {
+			want++
+		}
+	}
+	if len(got) != want {
+		return fmt.Errorf("btree: tree holds %d keys, want %d (phantom insert?)", len(got), want)
+	}
+	return nil
+}

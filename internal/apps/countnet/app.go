@@ -319,7 +319,9 @@ func (n *Network) traverseWith(t *core.Task, wire int, mech core.Mechanism) uint
 // is equivalent to holding the object for the access).
 func (n *Network) pullAndPin(t *core.Task, g gid.GID) any {
 	for !t.IsLocal(g) {
-		t.PullObject(g, balancerStateWords)
+		if err := t.PullObject(g, balancerStateWords); err != nil {
+			panic("countnet: object pull failed: " + err.Error())
+		}
 	}
 	return n.rt.Objects.State(g)
 }

@@ -1,8 +1,11 @@
 package countnet
 
 import (
+	"fmt"
+
 	"compmig/internal/core"
 	"compmig/internal/cost"
+	"compmig/internal/fault"
 	"compmig/internal/mem"
 	"compmig/internal/network"
 	"compmig/internal/policy"
@@ -40,6 +43,9 @@ type Config struct {
 	// shared-memory substrate is always built so adaptive policies can
 	// route through it. Scheme still supplies the cost model.
 	Policy string
+	// Faults, when it enables any fault, attaches a deterministic fault
+	// injector to the network and runs the post-run invariant checker.
+	Faults *fault.Spec
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -95,6 +101,11 @@ type Result struct {
 	Policy      string
 	Decisions   [4]uint64
 	PolicyStats *policy.Stats
+	// Fault holds the injected-fault and recovery counters of a faulty
+	// run (nil when no fault plan was active); InvariantErr is the
+	// post-run invariant checker's verdict ("" = all invariants held).
+	Fault        *fault.Counters
+	InvariantErr string
 }
 
 // RunExperiment builds a fresh machine, runs the workload, and reports
@@ -125,6 +136,12 @@ func RunExperiment(cfg Config) Result {
 		perHop = 2
 	}
 	net := network.New(eng, topo, col, model.NetTransitBase, perHop)
+	var inj *fault.Injector
+	if cfg.Faults.Enabled() {
+		inj = fault.NewInjector(cfg.Faults)
+		net.AttachFaults(inj)
+		installWindows(inj, mach)
+	}
 	rt := core.New(eng, mach, net, col, model)
 
 	mp := mem.DefaultParams()
@@ -209,7 +226,27 @@ func RunExperiment(cfg Config) Result {
 		st := pol.Stats()
 		res.PolicyStats = &st
 	}
+	if inj != nil {
+		c := inj.Counters
+		res.Fault = &c
+		inj.FlushProfile()
+		if err := n.CheckInvariants(opsStarted); err != nil {
+			res.InvariantErr = err.Error()
+		}
+	}
 	return res
+}
+
+// installWindows applies a fault plan's processor outage windows to the
+// machine: deliveries are handled by the network's reliability layer,
+// and local work segments stall through the processor's down windows.
+func installWindows(inj *fault.Injector, mach *sim.Machine) {
+	for _, w := range inj.Windows() {
+		if w.Proc < 0 || w.Proc >= mach.N() {
+			panic(fmt.Sprintf("countnet: fault window targets proc %d, machine has [0,%d)", w.Proc, mach.N()))
+		}
+		mach.Proc(w.Proc).AddDownWindow(w.Start, w.End())
+	}
 }
 
 // topology picks the interconnect: the paper's flat crossbar, or a

@@ -1,0 +1,53 @@
+package countnet
+
+import "fmt"
+
+// CheckInvariants verifies the counting network's correctness conditions
+// after a run that completed total traversals. Fault-injected runs call
+// it to prove the recovery protocols preserved exactly-once semantics:
+//
+//   - token conservation per stage: every traversal visits exactly one
+//     balancer in each stage, so each stage's visit counts sum to total;
+//   - the step property at quiescence: the counter of logical rank r has
+//     dispensed ceil((total-r)/width) values — output counts form a step,
+//     never a gap or a double-take;
+//   - value conservation: the counters together dispensed exactly total
+//     values.
+//
+// A dropped message that was never retried shows up as a missing visit;
+// a duplicate that slipped past suppression shows up as an extra one.
+func (n *Network) CheckInvariants(total uint64) error {
+	for s := range n.stages {
+		var visits uint64
+		for bi := range n.stages[s] {
+			visits += n.Visits(s, bi)
+		}
+		if visits != total {
+			return fmt.Errorf("countnet: stage %d routed %d tokens, want %d (token conservation violated)",
+				s, visits, total)
+		}
+	}
+	width := uint64(n.width)
+	var dispensed uint64
+	for w := 0; w < n.width; w++ {
+		c := n.rt.Objects.State(n.counterGID[w]).(*counter)
+		r := uint64(n.layout.RankOf[w])
+		if c.next < r || (c.next-r)%width != 0 {
+			return fmt.Errorf("countnet: counter rank %d (wire %d) at impossible value %d", r, w, c.next)
+		}
+		takes := (c.next - r) / width
+		var want uint64
+		if total > r {
+			want = (total - r + width - 1) / width
+		}
+		if takes != want {
+			return fmt.Errorf("countnet: counter rank %d dispensed %d values, want %d for %d traversals (step property violated)",
+				r, takes, want, total)
+		}
+		dispensed += takes
+	}
+	if dispensed != total {
+		return fmt.Errorf("countnet: counters dispensed %d values for %d traversals", dispensed, total)
+	}
+	return nil
+}

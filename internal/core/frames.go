@@ -141,6 +141,6 @@ func (t *Task) MigrateThread(g gid.GID, contID ContID, next Continuation, stackW
 	words := uint64(len(payload)) + network.HeaderWords
 
 	t.th.Exec(t.proc, rt.chargeSend(words))
-	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "thread-migrate", Payload: payload},
-		rt.deliverMigrate)
+	rt.Net.SendGuarded(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "thread-migrate", Payload: payload},
+		rt.deliverMigrate, rt.guard(t.reply.id))
 }

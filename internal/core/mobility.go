@@ -59,10 +59,12 @@ func (rt *Runtime) forward(m *network.Message, actual int, arrive func(*network.
 // object's state (stateWords on the wire) travels in one message after
 // a fetch request; subsequent accesses from this processor are local
 // until someone else pulls the object away. No-op when already local.
-func (t *Task) PullObject(g gid.GID, stateWords uint64) {
+// The error is non-nil only when a fault plan is active and the
+// recovery protocol gave up on the fetch (a *fault.GiveUpError).
+func (t *Task) PullObject(g gid.GID, stateWords uint64) error {
 	rt := t.rt
 	if rt.Objects.Home(g) == t.proc.ID() {
-		return
+		return nil
 	}
 	id, fut := rt.newReply()
 	w := msg.NewWriter(5)
@@ -73,13 +75,16 @@ func (t *Task) PullObject(g gid.GID, stateWords uint64) {
 	words := uint64(len(payload)) + network.HeaderWords
 
 	t.th.Exec(t.proc, rt.chargeSend(words))
-	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "obj-fetch", Payload: payload},
-		rt.deliverFetch)
-	fut.Wait(t.th)
+	rt.Net.SendGuarded(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "obj-fetch", Payload: payload},
+		rt.deliverFetch, rt.guard(id))
+	if _, err := waitWords(fut, t.th); err != nil {
+		return err
+	}
 	if rt.Obs != nil {
 		rt.Obs.ObjectPull(t.proc.ID(), g, int(stateWords))
 	}
 	rt.learn(t.proc.ID(), g, t.proc.ID())
+	return nil
 }
 
 // deliverFetch handles an object-fetch at (what the sender believed was)
@@ -120,8 +125,8 @@ func (rt *Runtime) deliverFetch(m *network.Message) {
 		rt.Col.AddCycles(stats.CatMarshal, rt.Model.Marshal(outWords))
 		rt.Col.AddCycles(stats.CatMessageSend, rt.Model.MessageSend)
 		here.ExecAsync(rt.Model.Marshal(outWords)+rt.Model.MessageSend, func() {
-			rt.Net.Send(&network.Message{Src: m.Dst, Dst: requester, Kind: "obj-move", Payload: payload},
-				rt.deliverObject)
+			rt.Net.SendGuarded(&network.Message{Src: m.Dst, Dst: requester, Kind: "obj-move", Payload: payload},
+				rt.deliverObject, rt.guard(replyID))
 		})
 	})
 }

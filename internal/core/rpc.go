@@ -48,10 +48,13 @@ func (t *Task) Call(g gid.GID, method MethodID, args msg.Marshaler, out msg.Unma
 	words := uint64(len(payload)) + network.HeaderWords
 
 	t.th.Exec(t.proc, rt.chargeSend(words))
-	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "rpc", Payload: payload},
-		rt.deliverRPC)
+	rt.Net.SendGuarded(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "rpc", Payload: payload},
+		rt.deliverRPC, rt.guard(id))
 
-	reply := fut.Wait(t.th).([]uint32)
+	reply, err := waitWords(fut, t.th)
+	if err != nil {
+		return err
+	}
 	if rt.Obs != nil {
 		rt.Obs.RemoteCall(t.proc.ID(), g, len(payload), len(reply), ent.short)
 	}
@@ -130,6 +133,6 @@ func (rt *Runtime) sendReply(t *Task, callerProc int, replyID uint32, resultWord
 	payload := w.Words()
 	words := uint64(len(payload)) + network.HeaderWords
 	t.th.Exec(t.proc, rt.chargeSend(words))
-	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: callerProc, Kind: "reply", Payload: payload},
-		rt.deliverReply)
+	rt.Net.SendGuarded(&network.Message{Src: t.proc.ID(), Dst: callerProc, Kind: "reply", Payload: payload},
+		rt.deliverReply, rt.guard(replyID))
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"compmig/internal/cost"
+	"compmig/internal/fault"
 	"compmig/internal/gid"
 	"compmig/internal/msg"
 	"compmig/internal/network"
@@ -267,10 +268,22 @@ func (rt *Runtime) newReply() (uint32, *sim.Future) {
 func (rt *Runtime) completeReply(id uint32, words []uint32) {
 	f, ok := rt.replies[id]
 	if !ok {
+		if inj := rt.Net.FaultInjector(); inj != nil {
+			// Under faults a reply can outlive its slot: the request's
+			// sender gave up (every ack lost) but the request did land and
+			// the handler answered anyway.
+			inj.Counters.LateReplies++
+			return
+		}
 		panic(fmt.Sprintf("core: reply id %d unknown or already completed", id))
 	}
 	delete(rt.replies, id)
-	rt.freeIDs = append(rt.freeIDs, id)
+	if rt.Net.FaultInjector() == nil {
+		// Under faults ids are not recycled: a retransmitted reply could
+		// otherwise land after its id was reissued and complete the wrong
+		// slot. The 20-bit id space outlasts any bounded run.
+		rt.freeIDs = append(rt.freeIDs, id)
+	}
 	if ent, pending := rt.residuals[id]; pending {
 		// The reply belongs to a partially migrated activation: wake its
 		// stay-behind half instead of a waiting future.
@@ -279,6 +292,50 @@ func (rt *Runtime) completeReply(id uint32, words []uint32) {
 		return
 	}
 	f.Complete(words)
+}
+
+// failReply settles a reply slot with an error (the reliability layer
+// gave up on a message the slot was waiting on). An already-settled
+// slot is left alone: a late delivery may have won the race.
+func (rt *Runtime) failReply(id uint32, err error) {
+	f, ok := rt.replies[id]
+	if !ok {
+		return
+	}
+	delete(rt.replies, id)
+	if _, pending := rt.residuals[id]; pending {
+		// The stay-behind half of a partially migrated activation holds
+		// processor state that only its reply can release; there is no
+		// caller to hand the error to.
+		panic(fmt.Sprintf("core: unrecoverable loss of reply %d owed to a partially migrated activation: %v", id, err))
+	}
+	f.Complete(err)
+}
+
+// guard returns the reliability layer's give-up callback for a reply
+// slot, or nil on a fault-free network so the hot path allocates no
+// closure.
+func (rt *Runtime) guard(id uint32) func(*fault.GiveUpError) {
+	if rt.Net.FaultInjector() == nil {
+		return nil
+	}
+	return func(err *fault.GiveUpError) { rt.failReply(id, err) }
+}
+
+// waitWords blocks on a reply future and splits the outcome: reply
+// words on success, the recovery error when the runtime gave up on a
+// lost message.
+func waitWords(fut *sim.Future, th *sim.Thread) ([]uint32, error) {
+	switch v := fut.Wait(th).(type) {
+	case nil:
+		return nil, nil
+	case []uint32:
+		return v, nil
+	case error:
+		return nil, v
+	default:
+		panic(fmt.Sprintf("core: reply future completed with unexpected %T", v))
+	}
 }
 
 // packLinkage squeezes a reply handle into one wire word: 12 bits of

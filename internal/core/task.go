@@ -98,7 +98,10 @@ func (t *Task) Do(entry Continuation, out msg.Unmarshaler) error {
 	entry.Run(child)
 	// Either the procedure completed locally (future already done) or it
 	// migrated away and this thread is now the waiting client stub.
-	words := fut.Wait(t.th).([]uint32)
+	words, err := waitWords(fut, t.th)
+	if err != nil {
+		return err
+	}
 	if out == nil {
 		return nil
 	}
@@ -148,8 +151,8 @@ func (t *Task) Migrate(g gid.GID, contID ContID, next Continuation) {
 
 	// Client-stub send path runs on the current processor.
 	t.th.Exec(t.proc, rt.chargeSend(words))
-	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "migrate", Payload: payload},
-		rt.deliverMigrate)
+	rt.Net.SendGuarded(&network.Message{Src: t.proc.ID(), Dst: rt.locate(t.proc.ID(), g), Kind: "migrate", Payload: payload},
+		rt.deliverMigrate, rt.guard(t.reply.id))
 	// The frame at this processor is now dead. If it was itself a remote
 	// activation, the thread is destroyed when Run returns; if it was the
 	// original caller's frame, Do is waiting on the reply future.
@@ -234,8 +237,8 @@ func (t *Task) Return(result msg.Marshaler) {
 	payload := w.Words()
 	words := uint64(len(payload)) + network.HeaderWords
 	t.th.Exec(t.proc, rt.chargeSend(words))
-	rt.Net.Send(&network.Message{Src: t.proc.ID(), Dst: t.reply.proc, Kind: "reply", Payload: payload},
-		rt.deliverReply)
+	rt.Net.SendGuarded(&network.Message{Src: t.proc.ID(), Dst: t.reply.proc, Kind: "reply", Payload: payload},
+		rt.deliverReply, rt.guard(t.reply.id))
 }
 
 // deliverReply is the client-stub receive path for a returning result.

@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, in := range []string{"", "   ", "\t"} {
+		s, err := ParseSpec(in)
+		if err != nil || s != nil {
+			t.Errorf("ParseSpec(%q) = %v, %v; want nil, nil", in, s, err)
+		}
+	}
+}
+
+func TestParseSpecFull(t *testing.T) {
+	s, err := ParseSpec("drop=0.01,dup=0.005,reorder=0.1,delay=0:40,crash=p3@50000+20000,pause=p1@100+50,seed=7,rto=2000,rtomax=16000,retries=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Spec{
+		Drop: 0.01, Dup: 0.005, Reorder: 0.1,
+		DelayMin: 0, DelayMax: 40,
+		Windows: []Window{
+			{Proc: 3, Start: 50000, Dur: 20000},
+			{Proc: 1, Start: 100, Dur: 50, Pause: true},
+		},
+		Seed: 7, RTO: 2000, RTOMax: 16000, MaxAttempts: 5,
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Errorf("parsed %+v, want %+v", s, want)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in, wantSub string
+	}{
+		{"drop", "malformed token"},
+		{"drop=", "malformed token"},
+		{"drop=1.5", "probability in [0,1]"},
+		{"dup=-0.1", "probability in [0,1]"},
+		{"reorder=x", "probability in [0,1]"},
+		{"delay=40", "MIN:MAX"},
+		{"delay=40:10", "MIN <= MAX"},
+		{"delay=a:b", "MIN <= MAX"},
+		{"crash=3@0+10", "pN@START+DUR"},
+		{"crash=p3@0", "pN@START+DUR"},
+		{"crash=p3@0+0", "pN@START+DUR"}, // zero-length outage
+		{"pause=p-1@0+10", "pN@START+DUR"},
+		{"seed=x", "positive integer"},
+		{"rto=0", "positive integer"},
+		{"rtomax=0", "positive integer"},
+		{"retries=0", "positive attempt count"},
+		{"retries=-3", "positive attempt count"},
+		{"rto=100,rtomax=50", "rtomax 50 below rto 100"},
+		{"rtomax=2000", "below rto"}, // below the 4000-cycle default
+		{"bogus=1", "unknown key"},
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) = %+v, want error", c.in, s)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSpec(%q) error %q, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []*Spec{
+		nil,
+		{Drop: 0.05},
+		{Drop: 0.01, Dup: 0.005, DelayMax: 40, Seed: 7},
+		{Reorder: 0.25, DelayMin: 5, DelayMax: 30},
+		{Windows: []Window{{Proc: 3, Start: 50000, Dur: 20000}, {Proc: 0, Start: 0, Dur: 1, Pause: true}}},
+		{Drop: 1, RTO: 50, RTOMax: 100, MaxAttempts: 3},
+	}
+	for _, s := range specs {
+		got, err := ParseSpec(s.String())
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", s.String(), err)
+			continue
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("round trip of %q: got %+v, want %+v", s.String(), got, s)
+		}
+	}
+}
+
+func TestSpecEnabled(t *testing.T) {
+	var nilSpec *Spec
+	if nilSpec.Enabled() {
+		t.Error("nil spec enabled")
+	}
+	if (&Spec{}).Enabled() || (&Spec{Seed: 7, RTO: 100}).Enabled() {
+		t.Error("spec with no fault knobs enabled")
+	}
+	for _, s := range []*Spec{
+		{Drop: 0.01}, {Dup: 0.01}, {Reorder: 0.01}, {DelayMax: 1},
+		{Windows: []Window{{Proc: 0, Start: 0, Dur: 1}}},
+	} {
+		if !s.Enabled() {
+			t.Errorf("%+v not enabled", s)
+		}
+	}
+}
+
+func TestInjectorDefaults(t *testing.T) {
+	i := NewInjector(&Spec{})
+	if i.RTOInitial() != DefaultRTO || i.RTOMax() != DefaultRTOMax || i.MaxAttempts() != DefaultMaxAttempts {
+		t.Errorf("defaults not applied: rto=%d rtomax=%d attempts=%d",
+			i.RTOInitial(), i.RTOMax(), i.MaxAttempts())
+	}
+	i = NewInjector(&Spec{RTO: 10, RTOMax: 20, MaxAttempts: 2})
+	if i.RTOInitial() != 10 || i.RTOMax() != 20 || i.MaxAttempts() != 2 {
+		t.Errorf("overrides not applied: rto=%d rtomax=%d attempts=%d",
+			i.RTOInitial(), i.RTOMax(), i.MaxAttempts())
+	}
+}
+
+// Same spec, same seed: the verdict sequence is identical.
+func TestJudgeDeterministic(t *testing.T) {
+	spec := &Spec{Drop: 0.2, Dup: 0.1, Reorder: 0.05, DelayMin: 1, DelayMax: 30, Seed: 42}
+	a, b := NewInjector(spec), NewInjector(spec)
+	for n := 0; n < 1000; n++ {
+		va, vb := a.Judge("req"), b.Judge("req")
+		if va != vb {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", n, va, vb)
+		}
+	}
+	if a.Counters != b.Counters {
+		t.Errorf("counters diverged: %+v vs %+v", a.Counters, b.Counters)
+	}
+	if a.Counters.Delayed == 0 || a.Counters.Reordered == 0 {
+		t.Errorf("plan injected nothing: %+v", a.Counters)
+	}
+}
+
+// A dropped transmission draws nothing further from the stream — the
+// fate of later messages must not depend on what the wire ate.
+func TestJudgeDropShortCircuits(t *testing.T) {
+	v := NewInjector(&Spec{Drop: 1, DelayMax: 1000}).Judge("req")
+	if !v.Drop || v.Dup || v.Delay != 0 || v.DupDelay != 0 {
+		t.Errorf("dropped verdict carries extra effects: %+v", v)
+	}
+}
+
+// Script hooks hit exactly the nth transmission of their kind and
+// consume no PRNG draws.
+func TestScriptHooks(t *testing.T) {
+	i := NewInjector(&Spec{})
+	i.ScriptDrop("req", 2)
+	i.ScriptDup("req", 3)
+	i.ScriptDrop("ack", 1)
+
+	before := i.rng.State()
+	var verdicts []Verdict
+	for n := 0; n < 4; n++ {
+		verdicts = append(verdicts, i.Judge("req"))
+	}
+	ack := i.Judge("ack")
+	if i.rng.State() != before {
+		t.Error("scripted faults consumed PRNG draws")
+	}
+	want := []Verdict{{}, {Drop: true}, {Dup: true, DupDelay: 1}, {}}
+	if !reflect.DeepEqual(verdicts, want) {
+		t.Errorf("req verdicts = %+v, want %+v", verdicts, want)
+	}
+	if !ack.Drop {
+		t.Errorf("ack verdict = %+v, want drop", ack)
+	}
+}
+
+func TestDeliveryDown(t *testing.T) {
+	i := NewInjector(&Spec{Windows: []Window{
+		{Proc: 1, Start: 100, Dur: 50},              // crash [100,150)
+		{Proc: 2, Start: 100, Dur: 50, Pause: true}, // pause [100,150)
+		{Proc: 2, Start: 150, Dur: 50, Pause: true}, // back-to-back pause [150,200)
+	}})
+	cases := []struct {
+		proc     int
+		at       uint64
+		drop     bool
+		resumeAt uint64
+	}{
+		{1, 99, false, 99},   // before the window
+		{1, 100, true, 0},    // crash eats it
+		{1, 149, true, 0},    // last covered cycle
+		{1, 150, false, 150}, // window is half-open
+		{2, 120, false, 200}, // pause chains into the next pause
+		{2, 200, false, 200},
+		{3, 120, false, 120}, // other procs unaffected
+	}
+	for _, c := range cases {
+		drop, resume := i.DeliveryDown(c.proc, c.at)
+		if drop != c.drop || (!drop && resume != c.resumeAt) {
+			t.Errorf("DeliveryDown(%d, %d) = %v, %d; want %v, %d",
+				c.proc, c.at, drop, resume, c.drop, c.resumeAt)
+		}
+	}
+}
+
+func TestGiveUpErrorMessage(t *testing.T) {
+	e := &GiveUpError{Kind: "rpc-req", Src: 0, Dst: 3, Attempts: 10}
+	msg := e.Error()
+	for _, want := range []string{"rpc-req", "p0->p3", "10 attempts"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q lacks %q", msg, want)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	i := NewInjector(&Spec{DelayMin: 5, DelayMax: 9, Seed: 3})
+	seen := map[uint64]bool{}
+	for n := 0; n < 500; n++ {
+		v := i.Judge("req")
+		if v.Delay < 5 || v.Delay > 9 {
+			t.Fatalf("jitter %d outside [5,9]", v.Delay)
+		}
+		seen[v.Delay] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("500 draws hit %d of 5 possible delays", len(seen))
+	}
+}

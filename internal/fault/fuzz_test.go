@@ -1,0 +1,42 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec checks that every accepted plan renders back to a
+// canonical string that re-parses to the same plan (String/ParseSpec
+// are a fixed point), and that rejection never panics.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"drop=0.01,dup=0.005,delay=0:40,crash=p3@50000+20000,seed=7",
+		"drop=1,rto=50,rtomax=100,retries=3",
+		"pause=p0@100+50,pause=p1@0+1",
+		"reorder=0.5,delay=10:10",
+		"drop=0",
+		"drop=0.5,drop=0.1",
+		"seed=18446744073709551615",
+		"delay=40:10",
+		"crash=p-1@0+0",
+		"retries=1048577",
+		"drop=1e-3",
+		" drop=0.1 , dup=0.2 ",
+		"rtomax=2000",
+		"bogus=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, text, err)
+		}
+		if s2.String() != canon {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", text, canon, s2.String())
+		}
+	})
+}

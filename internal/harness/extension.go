@@ -29,7 +29,7 @@ func objMigExp(o Options) experiment {
 			cfg := countnet.Config{
 				Threads: 16, Think: think, Scheme: s,
 				Seed: o.seed(), Warmup: warmup, Measure: measure,
-				Policy: abPolicy(s.Mechanism),
+				Policy: abPolicy(s.Mechanism), Faults: o.Faults,
 			}
 			specs = append(specs, RunSpec{
 				Label: fmt.Sprintf("ext-objmig/%s/think=%d", s.Name(), think),
@@ -86,7 +86,7 @@ func btreeObjMigExp(o Options) experiment {
 		cfg := btree.Config{
 			Scheme: s, Think: 0, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
-			Policy: abPolicy(s.Mechanism),
+			Policy: abPolicy(s.Mechanism), Faults: o.Faults,
 		}
 		specs = append(specs, RunSpec{
 			Label: "ext-objmig-btree/" + s.Name(),

@@ -23,6 +23,7 @@ import (
 	"compmig/internal/apps/btree"
 	"compmig/internal/apps/countnet"
 	"compmig/internal/core"
+	"compmig/internal/fault"
 	"compmig/internal/sim"
 )
 
@@ -36,6 +37,20 @@ type Options struct {
 	// concurrently: 0 means one per available CPU, 1 runs everything
 	// serially in the calling goroutine. Results do not depend on it.
 	Workers int
+	// Faults applies a deterministic fault plan to every workload
+	// experiment (the fig2/table/smallnode/ext sweeps; the fig1 and
+	// table5 microbenchmarks are exempt). A nil or all-zero plan changes
+	// nothing — output stays byte-identical to a fault-free run. The
+	// ext-fault experiment ignores this field: it sweeps its own plans.
+	Faults *fault.Spec
+}
+
+// ParseFaults parses the -faults flag grammar into a plan for
+// Options.Faults: comma-separated drop=F, dup=F, reorder=F,
+// delay=MIN:MAX, crash=pN@START+DUR, pause=pN@START+DUR, seed=N,
+// rto=N, rtomax=N, retries=N. An empty string yields nil (no faults).
+func ParseFaults(text string) (*fault.Spec, error) {
+	return fault.ParseSpec(text)
 }
 
 func (o Options) seed() uint64 {
@@ -174,7 +189,7 @@ func threadCounts(quick bool) []int {
 // ExperimentIDs lists every experiment id Run accepts, excluding "all".
 func ExperimentIDs() []string {
 	return []string{"fig1", "fig2", "fig3", "table1", "table2", "table3",
-		"table4", "table5", "smallnode", "ext-objmig", "ext-policy"}
+		"table4", "table5", "smallnode", "ext-objmig", "ext-policy", "ext-fault"}
 }
 
 // plan maps an experiment id to the sweeps it needs plus an optional
@@ -203,14 +218,19 @@ func plan(id string, o Options) ([]experiment, string, error) {
 		return []experiment{objMigExp(o), btreeObjMigExp(o)}, "", nil
 	case "ext-policy":
 		return []experiment{policyExp(o), btreePolicyExp(o)}, "", nil
+	case "ext-fault":
+		return []experiment{faultExp(o), btreeFaultExp(o)}, "", nil
 	case "all":
+		// ext-fault stays out of "all" on purpose: "all" is the
+		// byte-identity baseline the A/B suite pins, and it must remain a
+		// fault-free run.
 		return []experiment{
 			fig1Exp(o), countnetExp(o), btree12Exp(o), btree34Exp(o),
 			table5Exp(o), smallNodeExp(o), objMigExp(o), btreeObjMigExp(o),
 			policyExp(o), btreePolicyExp(o),
 		}, "", nil
 	default:
-		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, all)", id)
+		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, all)", id)
 	}
 }
 
@@ -262,7 +282,7 @@ func countnetExp(o Options) experiment {
 				cfg := countnet.Config{
 					Threads: n, Think: think, Scheme: s,
 					Seed: o.seed(), Warmup: warmup, Measure: measure,
-					Policy: abPolicy(s.Mechanism),
+					Policy: abPolicy(s.Mechanism), Faults: o.Faults,
 				}
 				specs = append(specs, RunSpec{
 					Label: fmt.Sprintf("countnet/%s/think=%d/threads=%d", s.Name(), think, n),
@@ -343,7 +363,7 @@ func btree12Exp(o Options) experiment {
 		cfg := btree.Config{
 			Scheme: s, Think: 0, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
-			Policy: abPolicy(s.Mechanism),
+			Policy: abPolicy(s.Mechanism), Faults: o.Faults,
 		}
 		specs = append(specs, RunSpec{
 			Label: "table1/" + s.Name(),
@@ -398,7 +418,7 @@ func btree34Exp(o Options) experiment {
 		cfg := btree.Config{
 			Scheme: s, Think: 10000, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
-			Policy: abPolicy(s.Mechanism),
+			Policy: abPolicy(s.Mechanism), Faults: o.Faults,
 		}
 		specs = append(specs, RunSpec{
 			Label: "table3/" + s.Name(),
@@ -450,7 +470,7 @@ func smallNodeExp(o Options) experiment {
 		cfg := btree.Config{
 			Params: p, Scheme: s, Think: 0, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
-			Policy: abPolicy(s.Mechanism),
+			Policy: abPolicy(s.Mechanism), Faults: o.Faults,
 		}
 		specs = append(specs, RunSpec{
 			Label: "smallnode/" + s.Name(),

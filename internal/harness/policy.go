@@ -54,6 +54,7 @@ func policyExp(o Options) experiment {
 				cfg := countnet.Config{
 					Threads: n, Think: think, Policy: p,
 					Seed: o.seed(), Warmup: warmup, Measure: measure,
+					Faults: o.Faults,
 				}
 				specs = append(specs, RunSpec{
 					Label: fmt.Sprintf("ext-policy/%s/think=%d/threads=%d", p, think, n),
@@ -109,6 +110,7 @@ func btreePolicyExp(o Options) experiment {
 			cfg := btree.Config{
 				Think: think, Policy: p, Seed: o.seed(),
 				Warmup: warmup, Measure: measure,
+				Faults: o.Faults,
 			}
 			specs = append(specs, RunSpec{
 				Label: fmt.Sprintf("ext-policy-btree/%s/think=%d", p, think),

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"compmig/internal/fault"
 	"compmig/internal/profile"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
@@ -54,7 +55,13 @@ func NewMesh(w, h int) Mesh {
 }
 
 // Hops returns the Manhattan distance between the procs' mesh positions.
+// Proc ids outside [0, W*H) have no mesh position: computing with one
+// would silently return a wrong distance, so Hops panics instead.
 func (m Mesh) Hops(src, dst int) uint64 {
+	if n := m.W * m.H; src < 0 || src >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("network: %s has procs [0,%d), got hop query src=%d dst=%d",
+			m.Name(), n, src, dst))
+	}
 	sx, sy := src%m.W, src/m.W
 	dx, dy := dst%m.W, dst/m.W
 	abs := func(a int) int {
@@ -80,6 +87,10 @@ type Message struct {
 	// ignores (the cache-coherence traffic) set this instead of
 	// allocating a Payload slice.
 	ExtraWords uint64
+
+	// Seq is the reliability layer's sequence number, stamped when a
+	// fault injector is attached; 0 otherwise.
+	Seq uint64
 }
 
 // Words returns the total wire size of the message including header.
@@ -106,6 +117,11 @@ type Network struct {
 	// the in-flight bookkeeping (the simulator processes millions of
 	// messages per experiment).
 	pool []*delivery
+
+	// rel is the at-most-once reliability layer, attached only when a
+	// fault injector is in effect. The fault-free hot path pays one nil
+	// check.
+	rel *reliability
 }
 
 // delivery carries one in-flight message from Send to its arrival
@@ -162,6 +178,10 @@ func (n *Network) Send(m *Message, arrive func(*Message)) {
 // second hop at arrival halves the event-heap traffic of protocol-heavy
 // workloads.
 func (n *Network) SendAfter(m *Message, recvDelay uint64, arrive func(*Message)) {
+	if n.rel != nil {
+		n.rel.send(m, recvDelay, arrive, nil)
+		return
+	}
 	if profile.Enabled() {
 		start := time.Now()
 		defer func() { profile.NetSends.AddTimed(1, time.Since(start)) }()
@@ -184,4 +204,38 @@ func (n *Network) SendAfter(m *Message, recvDelay uint64, arrive func(*Message))
 	}
 	d.m, d.arrive = m, arrive
 	n.eng.Schedule(lat+recvDelay, d.fn)
+}
+
+// SendGuarded is Send for callers that can recover from message loss:
+// when a fault injector is attached and the reliability layer exhausts
+// its retransmission budget, onGiveUp receives the typed error instead
+// of the network panicking. Without an injector it is exactly Send.
+func (n *Network) SendGuarded(m *Message, arrive func(*Message), onGiveUp func(*fault.GiveUpError)) {
+	if n.rel != nil {
+		n.rel.send(m, 0, arrive, onGiveUp)
+		return
+	}
+	n.SendAfter(m, 0, arrive)
+}
+
+// AttachFaults places the network under a fault plan: every message now
+// travels through the at-most-once reliability layer (sequence framing,
+// acks, retransmission) and the injector decides each transmission's
+// fate. Callers gate on Spec.Enabled() — attaching an injector changes
+// wire charges (framing and acks), so the fault-free byte-identity
+// contract is "no injector attached".
+func (n *Network) AttachFaults(inj *fault.Injector) {
+	if inj == nil {
+		panic("network: AttachFaults(nil)")
+	}
+	n.rel = newReliability(n, inj)
+}
+
+// FaultInjector returns the attached injector, or nil on a fault-free
+// network.
+func (n *Network) FaultInjector() *fault.Injector {
+	if n.rel == nil {
+		return nil
+	}
+	return n.rel.inj
 }

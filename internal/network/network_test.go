@@ -38,6 +38,61 @@ func TestMeshHops(t *testing.T) {
 	}
 }
 
+// Degenerate 1×N and N×1 meshes are lines: the hop count must be the
+// absolute index distance in both orientations.
+func TestMeshHopsDegenerate(t *testing.T) {
+	row := NewMesh(7, 1) // 1 row of 7
+	col := NewMesh(1, 7) // 1 column of 7
+	for a := 0; a < 7; a++ {
+		for b := 0; b < 7; b++ {
+			want := uint64(a - b)
+			if a < b {
+				want = uint64(b - a)
+			}
+			if got := row.Hops(a, b); got != want {
+				t.Errorf("mesh7x1 Hops(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got := col.Hops(a, b); got != want {
+				t.Errorf("mesh1x7 Hops(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMeshHopsDegenerateProperty(t *testing.T) {
+	for _, m := range []Mesh{NewMesh(13, 1), NewMesh(1, 13)} {
+		m := m
+		if err := quick.Check(func(a, b uint8) bool {
+			x, y := int(a)%13, int(b)%13
+			d := x - y
+			if d < 0 {
+				d = -d
+			}
+			return m.Hops(x, y) == uint64(d)
+		}, nil); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// A proc id outside [0, W*H) has no mesh position; Hops must panic with
+// a clear message instead of computing a wrong distance.
+func TestMeshHopsOutOfRangePanics(t *testing.T) {
+	m := NewMesh(4, 4)
+	for _, c := range []struct{ src, dst int }{
+		{-1, 0}, {0, -1}, {16, 0}, {0, 16}, {100, 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Hops(%d,%d) did not panic", c.src, c.dst)
+				}
+			}()
+			m.Hops(c.src, c.dst)
+		}()
+	}
+}
+
 func TestMeshHopsSymmetric(t *testing.T) {
 	m := NewMesh(6, 4)
 	if err := quick.Check(func(a, b uint8) bool {

@@ -1,0 +1,235 @@
+package network
+
+import (
+	"compmig/internal/fault"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// frameWords is the wire cost of the reliability framing per message:
+// one word of sequence number and one word of protocol flags/route for
+// the ack. Charged on every transmission so retried traffic stays
+// cycle-meaningful.
+const frameWords = 2
+
+// ackWireWords is the payload size of an ack (the echoed sequence
+// number); the header is charged on top as for any message.
+const ackWireWords = 1
+
+// reliability implements at-most-once delivery over a faulty wire:
+// sequence-numbered framing, receiver acks with duplicate suppression
+// keyed by (source proc, sequence), and sender retransmission under a
+// capped exponential backoff. It exists only while a fault injector is
+// attached; the fault-free path never allocates any of this.
+type reliability struct {
+	n   *Network
+	inj *fault.Injector
+
+	nextSeq uint64
+	pending map[uint64]*relPending
+	// seen records delivered (source, seq) pairs for duplicate
+	// suppression. Never swept: one experiment run is bounded, and a
+	// retransmit can arrive arbitrarily late relative to its ack.
+	seen map[dedupKey]struct{}
+}
+
+type dedupKey struct {
+	src int
+	seq uint64
+}
+
+// relPending is one logical message awaiting its ack. The embedded
+// Message is a clone of the caller's — senders like mem's pooled
+// ctrlMsg reuse their message structs immediately, so the in-flight
+// copy must be private.
+type relPending struct {
+	r         *reliability
+	m         Message
+	recvDelay uint64
+	arrive    func(*Message)
+	onGiveUp  func(*fault.GiveUpError)
+	attempts  int
+	rto       uint64
+	timer     *sim.Event
+	fire      func() // bound onTimeout, built once
+}
+
+func newReliability(n *Network, inj *fault.Injector) *reliability {
+	return &reliability{
+		n:       n,
+		inj:     inj,
+		pending: make(map[uint64]*relPending),
+		seen:    make(map[dedupKey]struct{}),
+	}
+}
+
+// send frames, transmits, and arms the retransmission timer for one
+// logical message.
+func (r *reliability) send(m *Message, recvDelay uint64, arrive func(*Message), onGiveUp func(*fault.GiveUpError)) {
+	r.nextSeq++
+	p := &relPending{
+		r:         r,
+		m:         *m,
+		recvDelay: recvDelay,
+		arrive:    arrive,
+		onGiveUp:  onGiveUp,
+		rto:       r.inj.RTOInitial(),
+	}
+	p.m.Seq = r.nextSeq
+	p.m.ExtraWords += frameWords
+	p.fire = p.onTimeout
+	r.pending[p.m.Seq] = p
+	r.transmit(p)
+	p.timer = r.n.eng.Schedule(p.rto, p.fire)
+}
+
+// transmit puts one copy of p's message on the wire: full word and
+// transit-cycle charges every time (a retransmission consumes the same
+// machine resources as the original), then the injector's verdict.
+func (r *reliability) transmit(p *relPending) {
+	p.attempts++
+	if p.attempts > 1 {
+		r.inj.Counters.Retransmits++
+	}
+	n := r.n
+	words := p.m.Words()
+	n.col.CountMessage(p.m.Kind, words)
+	lat := n.Latency(p.m.Src, p.m.Dst, words)
+	n.col.AddCycles(stats.CatNetworkTransit, lat)
+	if n.eng.Tracing() {
+		n.eng.Tracef("send", "%s p%d->p%d %dw seq=%d try=%d",
+			p.m.Kind, p.m.Src, p.m.Dst, words, p.m.Seq, p.attempts)
+	}
+	v := r.inj.Judge(p.m.Kind)
+	if v.Drop {
+		// The wire ate it after the sender paid for it; the timer will
+		// retransmit.
+		r.inj.Counters.Dropped++
+		if n.eng.Tracing() {
+			n.eng.Tracef("fault", "drop %s p%d->p%d seq=%d", p.m.Kind, p.m.Src, p.m.Dst, p.m.Seq)
+		}
+		return
+	}
+	r.deliverAfter(p, lat+p.recvDelay+v.Delay)
+	if v.Dup {
+		r.inj.Counters.Duplicated++
+		r.deliverAfter(p, lat+p.recvDelay+v.DupDelay)
+	}
+}
+
+// deliverAfter lands one copy of p's message at the destination after
+// delay, subject to the destination's outage windows.
+func (r *reliability) deliverAfter(p *relPending, delay uint64) {
+	at := uint64(r.n.eng.Now()) + delay
+	drop, resume := r.inj.DeliveryDown(p.m.Dst, at)
+	if drop {
+		r.inj.Counters.CrashDropped++
+		return
+	}
+	if resume > at {
+		r.inj.Counters.PauseDelayed++
+		delay += resume - at
+	}
+	r.n.eng.Schedule(delay, func() { r.deliver(p) })
+}
+
+// deliver runs at arrival time: ack first (even for duplicates — the
+// first ack may have been lost), then suppress duplicates, then hand
+// the message to the caller's arrive exactly once.
+func (r *reliability) deliver(p *relPending) {
+	n := r.n
+	n.Delivered++
+	if n.eng.Tracing() {
+		n.eng.Tracef("deliver", "%s p%d->p%d seq=%d", p.m.Kind, p.m.Src, p.m.Dst, p.m.Seq)
+	}
+	r.sendAck(p)
+	key := dedupKey{src: p.m.Src, seq: p.m.Seq}
+	if _, dup := r.seen[key]; dup {
+		r.inj.Counters.DupSuppressed++
+		return
+	}
+	r.seen[key] = struct{}{}
+	p.arrive(&p.m)
+}
+
+// sendAck sends the receiver's ack back to the sender, itself subject
+// to loss, duplication, and the sender's outage windows.
+func (r *reliability) sendAck(p *relPending) {
+	n := r.n
+	r.inj.Counters.Acks++
+	words := uint64(HeaderWords + ackWireWords)
+	n.col.CountMessage("ack", words)
+	lat := n.Latency(p.m.Dst, p.m.Src, words)
+	n.col.AddCycles(stats.CatNetworkTransit, lat)
+	v := r.inj.Judge("ack")
+	if v.Drop {
+		r.inj.Counters.AckDropped++
+		return
+	}
+	seq := p.m.Seq
+	r.ackAfter(p, seq, lat+v.Delay)
+	if v.Dup {
+		r.inj.Counters.Duplicated++
+		r.ackAfter(p, seq, lat+v.DupDelay)
+	}
+}
+
+// ackAfter lands one ack copy at the original sender after delay,
+// subject to the sender's outage windows.
+func (r *reliability) ackAfter(p *relPending, seq, delay uint64) {
+	at := uint64(r.n.eng.Now()) + delay
+	drop, resume := r.inj.DeliveryDown(p.m.Src, at)
+	if drop {
+		r.inj.Counters.AckDropped++
+		return
+	}
+	if resume > at {
+		r.inj.Counters.PauseDelayed++
+		delay += resume - at
+	}
+	r.n.eng.Schedule(delay, func() { r.onAck(seq) })
+}
+
+// onAck settles the pending entry. Late and duplicate acks find nothing
+// and are ignored.
+func (r *reliability) onAck(seq uint64) {
+	p, ok := r.pending[seq]
+	if !ok {
+		return
+	}
+	delete(r.pending, seq)
+	if p.timer != nil {
+		p.timer.Cancel()
+		p.timer = nil
+	}
+}
+
+// onTimeout fires when an ack has not arrived within the current RTO:
+// back off and retransmit, or give up after the attempt budget.
+func (p *relPending) onTimeout() {
+	p.timer = nil // this event just fired; it must not be cancelled later
+	r := p.r
+	r.inj.Counters.Timeouts++
+	if p.attempts >= r.inj.MaxAttempts() {
+		delete(r.pending, p.m.Seq)
+		r.inj.Counters.GiveUps++
+		err := &fault.GiveUpError{Kind: p.m.Kind, Src: p.m.Src, Dst: p.m.Dst, Attempts: p.attempts}
+		if p.onGiveUp == nil {
+			// Protocol traffic with no recovery slot (coherence,
+			// forwarding). At sane fault rates the attempt budget makes
+			// this astronomically unlikely; a silent drop would deadlock
+			// the event loop, so fail loudly instead.
+			panic("network: unrecoverable message loss: " + err.Error())
+		}
+		p.onGiveUp(err)
+		return
+	}
+	if p.rto < r.inj.RTOMax() {
+		p.rto *= 2
+		if p.rto > r.inj.RTOMax() {
+			p.rto = r.inj.RTOMax()
+		}
+	}
+	r.transmit(p)
+	p.timer = r.n.eng.Schedule(p.rto, p.fire)
+}

@@ -1,0 +1,224 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"compmig/internal/fault"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// faultyNet builds a network with an injector attached for the given
+// plan (script-only plans pass a zero Spec).
+func faultyNet(t *testing.T, spec *fault.Spec) (*sim.Engine, *Network, *fault.Injector) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	col := stats.NewCollector()
+	n := New(e, Crossbar{}, col, 17, 0)
+	inj := fault.NewInjector(spec)
+	n.AttachFaults(inj)
+	return e, n, inj
+}
+
+// A scripted drop of the first transmission must be recovered by a
+// retransmission, and the message must arrive exactly once.
+func TestReliableRetransmitsDroppedMessage(t *testing.T) {
+	e, n, inj := faultyNet(t, &fault.Spec{RTO: 100})
+	inj.ScriptDrop("req", 1)
+
+	arrivals := 0
+	var at sim.Time
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "req", Payload: []uint32{7}},
+		func(m *Message) {
+			arrivals++
+			at = e.Now()
+			if len(m.Payload) != 1 || m.Payload[0] != 7 {
+				t.Errorf("payload corrupted in retransmission: %v", m.Payload)
+			}
+		})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals != 1 {
+		t.Fatalf("arrivals = %d, want exactly 1", arrivals)
+	}
+	if at != 100+17 { // timer at RTO, retransmit flies one transit
+		t.Errorf("arrival at %d, want %d", at, 100+17)
+	}
+	c := inj.Counters
+	if c.Dropped != 1 || c.Retransmits != 1 || c.Timeouts != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// A scripted duplication must be suppressed at the receiver: arrive
+// runs once, and the duplicate is counted.
+func TestReliableSuppressesDuplicate(t *testing.T) {
+	e, n, inj := faultyNet(t, &fault.Spec{RTO: 1000})
+	inj.ScriptDup("req", 1)
+
+	arrivals := 0
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "req"}, func(*Message) { arrivals++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals != 1 {
+		t.Fatalf("arrivals = %d, want exactly 1", arrivals)
+	}
+	c := inj.Counters
+	if c.Duplicated == 0 || c.DupSuppressed == 0 {
+		t.Errorf("counters = %+v", c)
+	}
+	if c.Retransmits != 0 {
+		t.Errorf("duplicate caused %d retransmits, want 0", c.Retransmits)
+	}
+}
+
+// A lost ack must trigger a retransmission whose delivery is then
+// suppressed as a duplicate — the arrive callback still runs once.
+func TestReliableAckLossRetransmitThenDedup(t *testing.T) {
+	e, n, inj := faultyNet(t, &fault.Spec{RTO: 100})
+	inj.ScriptDrop("ack", 1)
+
+	arrivals := 0
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "req"}, func(*Message) { arrivals++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals != 1 {
+		t.Fatalf("arrivals = %d, want exactly 1", arrivals)
+	}
+	c := inj.Counters
+	if c.AckDropped != 1 || c.Retransmits != 1 || c.DupSuppressed != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// Deliveries into a crash window are lost; the sender's backoff carries
+// the retransmissions past the window and the message lands after the
+// processor restarts — exactly once.
+func TestReliableRecoversAcrossCrashWindow(t *testing.T) {
+	e, n, inj := faultyNet(t, &fault.Spec{
+		Windows: []fault.Window{{Proc: 1, Start: 0, Dur: 500}},
+		RTO:     100, RTOMax: 400,
+	})
+	arrivals := 0
+	var at sim.Time
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "req"}, func(*Message) { arrivals++; at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals != 1 {
+		t.Fatalf("arrivals = %d, want exactly 1", arrivals)
+	}
+	if at < 500 {
+		t.Errorf("delivered at %d, inside the crash window [0,500)", at)
+	}
+	if inj.Counters.CrashDropped == 0 || inj.Counters.Retransmits == 0 {
+		t.Errorf("counters = %+v", inj.Counters)
+	}
+}
+
+// A pause window holds deliveries and releases them at its end instead
+// of dropping them.
+func TestReliablePauseWindowDelaysDelivery(t *testing.T) {
+	e, n, inj := faultyNet(t, &fault.Spec{
+		Windows: []fault.Window{{Proc: 1, Start: 0, Dur: 300, Pause: true}},
+	})
+	var at sim.Time
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "req"}, func(*Message) { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 300 {
+		t.Errorf("delivered at %d, want released at window end 300", at)
+	}
+	if inj.Counters.PauseDelayed == 0 {
+		t.Errorf("counters = %+v", inj.Counters)
+	}
+	if inj.Counters.CrashDropped != 0 {
+		t.Errorf("pause window dropped a delivery: %+v", inj.Counters)
+	}
+}
+
+// Under 100% drop the sender must give up after its bounded attempt
+// budget with a typed error — and the event loop must drain, not hang.
+func TestReliableGiveUpBounded(t *testing.T) {
+	e, n, inj := faultyNet(t, &fault.Spec{Drop: 1, RTO: 50, RTOMax: 100, MaxAttempts: 3})
+	var got *fault.GiveUpError
+	n.SendGuarded(&Message{Src: 0, Dst: 1, Kind: "req"},
+		func(*Message) { t.Error("message arrived despite 100% drop") },
+		func(err *fault.GiveUpError) { got = err })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("no give-up error delivered")
+	}
+	if got.Kind != "req" || got.Attempts != 3 {
+		t.Errorf("give-up error = %+v", got)
+	}
+	if inj.Counters.GiveUps != 1 || inj.Counters.Dropped != 3 {
+		t.Errorf("counters = %+v", inj.Counters)
+	}
+}
+
+// A give-up with no recovery callback must fail loudly — a silent drop
+// would deadlock the simulation.
+func TestReliableGiveUpWithoutGuardPanics(t *testing.T) {
+	e, n, _ := faultyNet(t, &fault.Spec{Drop: 1, RTO: 50, MaxAttempts: 2})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unguarded give-up did not panic")
+		}
+		if !strings.Contains(r.(string), "unrecoverable") {
+			t.Errorf("panic message %q lacks context", r)
+		}
+	}()
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "coherence"}, func(*Message) {})
+	_ = e.Run()
+}
+
+// The reliability framing charges its sequence/ack words on the wire:
+// a framed message costs more than an unframed one, and acks show up in
+// the per-kind message counts.
+func TestReliableFramingIsCharged(t *testing.T) {
+	e, n, _ := faultyNet(t, &fault.Spec{DelayMax: 1})
+	n.Send(&Message{Src: 0, Dst: 1, Kind: "req", Payload: []uint32{1}}, func(*Message) {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	col := n.Collector()
+	wantReq := uint64(HeaderWords + 1 + frameWords)
+	wantAck := uint64(HeaderWords + ackWireWords)
+	if col.WordsSent != wantReq+wantAck {
+		t.Errorf("words sent = %d, want %d message + %d ack", col.WordsSent, wantReq, wantAck)
+	}
+	if col.Messages["ack"] != 1 || col.Messages["req"] != 1 {
+		t.Errorf("message counts = %v", col.Messages)
+	}
+}
+
+// Same plan, same seed, twice: identical counter trajectories. The
+// injector draws only from its own stream.
+func TestReliableDeterministic(t *testing.T) {
+	run := func() fault.Counters {
+		e, n, inj := faultyNet(t, &fault.Spec{Drop: 0.2, Dup: 0.1, DelayMax: 30, Seed: 9, RTO: 200})
+		for i := 0; i < 200; i++ {
+			n.Send(&Message{Src: i % 4, Dst: (i + 1) % 4, Kind: "req"}, func(*Message) {})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return inj.Counters
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Dropped == 0 || a.Retransmits == 0 {
+		t.Errorf("plan injected nothing: %+v", a)
+	}
+}

@@ -55,6 +55,12 @@ var (
 	PolicyCM     Section // policy decisions that chose computation migration
 	PolicySM     Section // policy decisions that chose shared memory
 	PolicyOM     Section // policy decisions that chose object migration
+
+	FaultDrops       Section // injected message losses (incl. crash windows, acks)
+	FaultDups        Section // injected message duplications
+	FaultRetransmits Section // reliability-layer retransmissions
+	FaultTimeouts    Section // retransmission timer firings
+	FaultGiveUps     Section // messages abandoned after the attempt budget
 )
 
 // Stat is one row of a snapshot.
@@ -76,6 +82,11 @@ func Snapshot() []Stat {
 		{"policy.cm", PolicyCM.Count.Load(), PolicyCM.Ns.Load()},
 		{"policy.sm", PolicySM.Count.Load(), PolicySM.Ns.Load()},
 		{"policy.om", PolicyOM.Count.Load(), PolicyOM.Ns.Load()},
+		{"fault.drops", FaultDrops.Count.Load(), FaultDrops.Ns.Load()},
+		{"fault.dups", FaultDups.Count.Load(), FaultDups.Ns.Load()},
+		{"fault.retransmits", FaultRetransmits.Count.Load(), FaultRetransmits.Ns.Load()},
+		{"fault.timeouts", FaultTimeouts.Count.Load(), FaultTimeouts.Ns.Load()},
+		{"fault.giveups", FaultGiveUps.Count.Load(), FaultGiveUps.Ns.Load()},
 	}
 }
 

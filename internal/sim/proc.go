@@ -18,6 +18,36 @@ type Proc struct {
 	Busy Time
 	// Segments counts work segments executed.
 	Segments uint64
+
+	// downs are scheduled outage windows (fault injection): work segments
+	// booked inside a window start when it closes. Empty on the fault-free
+	// path, so reserve pays one length check.
+	downs []downWindow
+}
+
+type downWindow struct{ start, end Time }
+
+// AddDownWindow schedules an outage on the processor: any work segment
+// that would start inside [start, end) is pushed to end. Windows are
+// kept sorted by start so a forward scan resolves chains of windows.
+func (p *Proc) AddDownWindow(start, end Time) {
+	if end <= start {
+		panic(fmt.Sprintf("sim: down window [%d,%d) on p%d is empty", start, end, p.id))
+	}
+	p.downs = append(p.downs, downWindow{start: start, end: end})
+	for i := len(p.downs) - 1; i > 0 && p.downs[i].start < p.downs[i-1].start; i-- {
+		p.downs[i], p.downs[i-1] = p.downs[i-1], p.downs[i]
+	}
+}
+
+// skipDown pushes t past any outage window covering it.
+func (p *Proc) skipDown(t Time) Time {
+	for _, w := range p.downs {
+		if t >= w.start && t < w.end {
+			t = w.end
+		}
+	}
+	return t
 }
 
 // Machine is a fixed set of processors.
@@ -73,6 +103,9 @@ func (p *Proc) reserve(cycles Time) Time {
 	if start < p.eng.now {
 		start = p.eng.now
 	}
+	if len(p.downs) != 0 {
+		start = p.skipDown(start)
+	}
 	end := start + cycles
 	p.free = end
 	p.Busy += cycles
@@ -105,6 +138,9 @@ func (p *Proc) ReserveAt(at, cycles Time) Time {
 	start := p.free
 	if start < at {
 		start = at
+	}
+	if len(p.downs) != 0 {
+		start = p.skipDown(start)
 	}
 	end := start + cycles
 	p.free = end
