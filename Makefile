@@ -12,13 +12,22 @@ GO ?= go
 BENCH_BASELINE := BENCH_2026-08-06-policy.json
 BENCH_CURRENT  := BENCH_2026-08-06-fault.json
 
-.PHONY: check vet build test race ab-identity fuzz-smoke smoke fault-smoke benchdiff-smoke bench-gate bench bench-json
+.PHONY: check lint vet simvet build test race ab-identity fuzz-smoke smoke fault-smoke benchdiff-smoke bench-gate bench bench-json
 
-check: vet build test race ab-identity fuzz-smoke smoke fault-smoke benchdiff-smoke
+check: lint build test race ab-identity fuzz-smoke smoke fault-smoke benchdiff-smoke
 	@echo "check: all green"
+
+# lint is go vet plus simvet, the repo's own determinism/purity analyzer
+# suite (cmd/simvet): nondeterministic inputs, map-order leaks, host-side
+# purity, seeded randomness, and cost-model charging are all build
+# failures, not conventions. simvet -json emits machine-readable findings.
+lint: vet simvet
 
 vet:
 	$(GO) vet ./...
+
+simvet:
+	$(GO) run ./cmd/simvet ./...
 
 build:
 	$(GO) build ./...

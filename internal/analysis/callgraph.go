@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcDecls maps each function or method declared in the package (with a
+// body) to its declaration.
+func funcDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// taintedFuncs computes the set of package functions that are seed-tainted
+// or (transitively, through statically resolved same-package calls) call a
+// tainted function. It is the package-local approximation of SSA
+// reachability the maporder and cyclecharge analyzers use: calls through
+// function values and interfaces are not resolved, which both analyzers
+// accept as a documented heuristic (the escape hatch covers the rest).
+func taintedFuncs(p *Pass, decls map[*types.Func]*ast.FuncDecl, seed func(*ast.FuncDecl) bool) map[*types.Func]bool {
+	tainted := map[*types.Func]bool{}
+	for fn, fd := range decls {
+		if seed(fd) {
+			tainted[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if tainted[fn] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := p.Callee(call); callee != nil && tainted[callee] {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				tainted[fn] = true
+				changed = true
+			}
+		}
+	}
+	return tainted
+}
+
+// calleeKey returns the (package path, name) key of a call's statically
+// resolved callee, or ok=false for unresolved calls and builtins.
+func calleeKey(p *Pass, call *ast.CallExpr) (funcKey, bool) {
+	fn := p.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return funcKey{}, false
+	}
+	return funcKey{pkg: fn.Pkg().Path(), name: fn.Name()}, true
+}
+
+// mentionsPackage reports whether any identifier under n resolves to an
+// object declared in package path.
+func mentionsPackage(p *Pass, n ast.Node, path string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path {
+			found = true
+		}
+		return true
+	})
+	return found
+}

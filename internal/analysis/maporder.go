@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose loop body can
+// influence simulated state in iteration order: a body that schedules
+// events, sends messages, or charges processor time per entry makes the
+// execution depend on Go's randomized map order, which is exactly the
+// class of bug the byte-identity A/B suites cannot catch until a hash
+// seed changes. Accumulating map entries into a slice is allowed when
+// the slice is deterministically sorted later in the same function (the
+// standard collect-then-sort idiom used throughout the tree).
+//
+// The reachability check is a package-local taint approximation: a body
+// call is a violation if its statically resolved callee is one of the
+// simulator's scheduling/send entry points, or a same-package function
+// that transitively reaches one. Calls through function values and
+// interfaces are not resolved; use //simvet:allow with a justification
+// where the heuristic misses context.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose body reaches event scheduling, message " +
+		"sends, or order-sensitive accumulation without a deterministic sort",
+	Run: runMapOrder,
+}
+
+// sortFuncs recognizes the deterministic-ordering calls that launder an
+// accumulated slice: anything in sort, plus the slices package's Sort*
+// family.
+func isSortCall(key funcKey) bool {
+	if key.pkg == "sort" {
+		return true
+	}
+	return key.pkg == "slices" && len(key.name) >= 4 && key.name[:4] == "Sort"
+}
+
+func runMapOrder(p *Pass) error {
+	if !p.Class.SimCharged {
+		return nil
+	}
+	decls := funcDecls(p)
+	reachesSink := taintedFuncs(p, decls, func(fd *ast.FuncDecl) bool {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, ok := calleeKey(p, call); ok && schedulingSinks[key] {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	})
+
+	for _, fd := range decls {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := p.Info.TypeOf(rs.X); t == nil || !isMapType(t) {
+				return true
+			}
+			checkMapRangeBody(p, fd, rs, reachesSink)
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody reports order-sensitive operations inside the body
+// of a range over a map.
+func checkMapRangeBody(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, reachesSink map[*types.Func]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			key, ok := calleeKey(p, n)
+			if !ok {
+				return true
+			}
+			if schedulingSinks[key] {
+				p.Reportf(n.Pos(), "%s.%s called inside map iteration: event order would follow Go's randomized map order; iterate over sorted keys instead", key.pkg, key.name)
+				return true
+			}
+			if fn := p.Callee(n); fn != nil && reachesSink[fn] {
+				p.Reportf(n.Pos(), "call to %s inside map iteration reaches event scheduling or message sends; iterate over sorted keys instead", fn.Name())
+			}
+		case *ast.AssignStmt:
+			checkOrderedAppend(p, fd, rs, n)
+		}
+		return true
+	})
+}
+
+// checkOrderedAppend flags `x = append(x, ...)` inside a map range when
+// x outlives the loop and is never deterministically sorted afterwards
+// in the same function: the slice's element order would then leak the
+// map's randomized iteration order into whatever consumes it.
+func checkOrderedAppend(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(as.Lhs) <= i {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				continue // a user-defined append shadows the builtin
+			}
+		}
+		// Resolve the destination; only plain variables (and field
+		// selections) carry order out of the loop — a map-indexed
+		// destination is keyed, not ordered.
+		var destID *ast.Ident
+		switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.Ident:
+			destID = lhs
+		case *ast.SelectorExpr:
+			destID = lhs.Sel
+		default:
+			continue
+		}
+		obj := p.ObjectOf(destID)
+		if obj == nil {
+			continue
+		}
+		// A destination declared inside the loop body dies with the
+		// iteration; order cannot escape.
+		if rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End() {
+			continue
+		}
+		if sortedAfter(p, fd, obj, rs.End()) {
+			continue
+		}
+		p.Reportf(as.Pos(), "append to %s inside map iteration leaks randomized map order (no deterministic sort of %s follows in %s); sort before use", obj.Name(), obj.Name(), fd.Name.Name)
+	}
+}
+
+// sortedAfter reports whether a sort/slices ordering call mentioning obj
+// appears in fd's body after position after.
+func sortedAfter(p *Pass, fd *ast.FuncDecl, obj types.Object, after token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after {
+			return true
+		}
+		key, ok := calleeKey(p, call)
+		if !ok || !isSortCall(key) {
+			return true
+		}
+		for _, arg := range call.Args {
+			usesObject(p, arg, obj, &found)
+			if found {
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func usesObject(p *Pass, n ast.Node, obj types.Object, found *bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if *found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			*found = true
+		}
+		return true
+	})
+}

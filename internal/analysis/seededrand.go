@@ -1,0 +1,44 @@
+package analysis
+
+import "strconv"
+
+// SeededRand enforces the single-source-of-randomness rule everywhere in
+// the module, not just in simulation-charged code: every random draw must
+// flow from a sim.PRNG stream seeded by the run configuration, because
+// that is what makes a (program, seed) pair a complete description of an
+// experiment. math/rand's package-level generator is process-global and
+// (since Go 1.20) seeded randomly at startup, so even a harness-side use
+// silently breaks reproducibility.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "require all randomness to flow from seeded sim.PRNG streams; " +
+		"ban math/rand everywhere in the module",
+	Run: runSeededRand,
+}
+
+var randImports = []string{"math/rand", "math/rand/v2"}
+
+func runSeededRand(p *Pass) error {
+	if matchAny(p.Pkg.Path(), randSourcePaths) {
+		// The designated randomness provider: internal/sim implements the
+		// explicitly seeded xoshiro256** generator (and in fact imports
+		// no rand package at all, so the stream is stable across Go
+		// releases — but the exemption belongs to it, not to its
+		// implementation detail).
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, banned := range randImports {
+				if path == banned {
+					p.Reportf(imp.Pos(), "import of %q: all randomness must come from seeded sim.PRNG streams (internal/sim), never a package-level generator", path)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import "go/ast"
+
+// SimPurity makes the "zero simulated cycles" guarantee of the host-side
+// layers structural: packages declared simulation-inert in the manifest
+// (policy, profile, stats, advisor) observe the simulation but must never
+// schedule events, wake threads, send messages, or charge cycles. The
+// policy A/B identity contract — a static policy renders byte-identical
+// tables to the hard-wired scheme — holds only because a policy decision
+// cannot perturb the machine; this analyzer turns that argument from
+// prose in the package doc into a build failure.
+var SimPurity = &Analyzer{
+	Name: "simpurity",
+	Doc: "forbid event scheduling, message sends, and cycle charging in " +
+		"packages declared host-side (simulation-inert)",
+	Run: runSimPurity,
+}
+
+func runSimPurity(p *Pass) error {
+	if !p.Class.HostSide {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.Callee(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == p.Pkg {
+				// Unresolved, builtin, or the package's own API (a
+				// host-side package may define charging primitives; the
+				// charged packages that call them are audited elsewhere).
+				return true
+			}
+			key := funcKey{pkg: fn.Pkg().Path(), name: fn.Name()}
+			if schedulingSinks[key] || chargingSinks[key] {
+				p.Reportf(call.Pos(), "host-side package calls %s.%s: simulation-inert packages must not schedule events, send messages, or charge cycles", key.pkg, key.name)
+			}
+			return true
+		})
+	}
+	return nil
+}

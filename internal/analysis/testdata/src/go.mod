@@ -1,0 +1,11 @@
+// The fixture module is named under compmig/internal so its packages
+// may import the real simulation packages (Go's internal-visibility
+// rule is import-path based): the analyzers' sink sets then behave
+// identically on fixtures and on the shipped tree.
+module compmig/internal/analysis/fixtures
+
+go 1.22
+
+require compmig v0.0.0-00010101000000-000000000000
+
+replace compmig => ../../../..

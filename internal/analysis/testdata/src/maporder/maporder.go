@@ -1,0 +1,76 @@
+// Package maporder is an analysistest fixture for the map-iteration
+// analyzer: bodies that reach event scheduling or leak iteration order
+// are violations; the collect-then-sort idiom is the compliant variant.
+//
+//simvet:package sim-charged
+package maporder
+
+import (
+	"sort"
+
+	"compmig/internal/network"
+	"compmig/internal/sim"
+)
+
+// BadDirect schedules an event per map entry: event sequence numbers
+// follow Go's randomized iteration order.
+func BadDirect(eng *sim.Engine, pending map[int]func()) {
+	for _, fn := range pending {
+		eng.Schedule(1, fn) // want `Schedule called inside map iteration`
+	}
+}
+
+// relay reaches a send sink; calling it from a map range is as bad as
+// sending directly.
+func relay(n *network.Network, m *network.Message) {
+	n.Send(m, nil)
+}
+
+// BadIndirect reaches the network through a package-local helper.
+func BadIndirect(n *network.Network, inflight map[int]*network.Message) {
+	for _, m := range inflight {
+		relay(n, m) // want `reaches event scheduling or message sends`
+	}
+}
+
+// BadAccumulate leaks map order through a slice that is never sorted.
+func BadAccumulate(counts map[int]uint64) []uint64 {
+	var out []uint64
+	for _, c := range counts {
+		out = append(out, c) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+// GoodSorted is the canonical fix: collect keys, sort, then do
+// order-sensitive work over the sorted slice.
+func GoodSorted(eng *sim.Engine, pending map[int]func()) {
+	keys := make([]int, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		eng.Schedule(1, pending[k])
+	}
+}
+
+// GoodCommutative folds map entries into an order-insensitive value;
+// nothing here needs an ordering.
+func GoodCommutative(counts map[int]uint64) uint64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// GoodKeyed accumulates into a keyed destination: placement is by key,
+// so iteration order cannot escape.
+func GoodKeyed(counts map[int]uint64) map[int]uint64 {
+	double := make(map[int]uint64, len(counts))
+	for k, c := range counts {
+		double[k] = 2 * c
+	}
+	return double
+}

@@ -1,0 +1,39 @@
+// Package nodeterminism is an analysistest fixture: a package that opts
+// into the simulation-charged class and commits (and suppresses) every
+// kind of host-nondeterminism violation.
+//
+//simvet:package sim-charged
+package nodeterminism
+
+import (
+	"math/rand" // want `import of "math/rand"`
+	"os"
+	"sync" // want `import of "sync"`
+	"time"
+)
+
+// Bad trips every per-use check.
+func Bad() time.Duration {
+	start := time.Now()   // want `use of time.Now`
+	_ = os.Getenv("SEED") // want `use of os.Getenv`
+	go func() {}()        // want `goroutine spawn`
+	var mu sync.Mutex
+	mu.Lock()
+	_ = rand.Int()
+	mu.Unlock()
+	return time.Since(start) // want `use of time.Since`
+}
+
+// Allowed demonstrates the escape hatch: the directive must carry a
+// justification, and covers only its own line and the next.
+func Allowed() {
+	_ = time.Now() //simvet:allow fixture: profiling-only measurement that cannot perturb event order
+	//simvet:allow fixture: covers the next line
+	_ = time.Now()
+}
+
+// Good is the compliant variant: simulated time is a plain uint64 fed by
+// the engine clock, and time.Duration is a unit, not a clock read.
+func Good(now uint64, d time.Duration) uint64 {
+	return now + uint64(d/time.Microsecond)
+}

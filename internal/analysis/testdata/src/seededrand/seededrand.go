@@ -1,0 +1,27 @@
+// Package seededrand is an analysistest fixture: randomness must flow
+// from explicitly seeded sim.PRNG streams, never from math/rand's
+// process-global generator. No class directive is needed — the rule
+// applies to every package in the module.
+package seededrand
+
+import (
+	"math/rand" // want `import of "math/rand"`
+
+	"compmig/internal/sim"
+)
+
+// BadShuffle draws from the process-global generator: two identical runs
+// of the same seed can differ.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// GoodShuffle is the compliant variant: the caller supplies a stream
+// forked from the run seed, so the permutation is part of the experiment
+// configuration.
+func GoodShuffle(rng *sim.PRNG, xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

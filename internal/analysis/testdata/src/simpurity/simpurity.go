@@ -1,0 +1,39 @@
+// Package simpurity is an analysistest fixture: a package declared
+// host-side (simulation-inert) that nevertheless schedules events,
+// sends messages, and charges cycles — plus the observation-only calls
+// it is allowed to make.
+//
+//simvet:package host-side
+package simpurity
+
+import (
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// BadSchedule perturbs the simulation from an observer.
+func BadSchedule(eng *sim.Engine) {
+	eng.Schedule(10, func() {}) // want `host-side package calls compmig/internal/sim.Schedule`
+}
+
+// BadWake wakes a simulated thread.
+func BadWake(th *sim.Thread) {
+	th.Unpark() // want `host-side package calls compmig/internal/sim.Unpark`
+}
+
+// BadSend injects a message.
+func BadSend(n *network.Network, m *network.Message) {
+	n.Send(m, nil) // want `host-side package calls compmig/internal/network.Send`
+}
+
+// BadCharge bills simulated cycles.
+func BadCharge(col *stats.Collector) {
+	col.AddCycles(stats.CatUserCode, 5) // want `host-side package calls compmig/internal/stats.AddCycles`
+}
+
+// GoodObserve reads simulation state without touching it: clocks,
+// counters, and utilization are all fair game for a policy input.
+func GoodObserve(eng *sim.Engine, p *sim.Proc) (uint64, float64) {
+	return eng.Now(), p.Utilization()
+}

@@ -3,7 +3,7 @@ package btree
 import (
 	"fmt"
 	"slices"
-	"sync"
+	"sync" //simvet:allow host-side workload memoization (GenKeys cache) shared across harness workers; keys are a pure function of the PRNG state
 
 	"compmig/internal/core"
 	"compmig/internal/cost"

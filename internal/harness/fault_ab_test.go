@@ -22,7 +22,7 @@ func renderAll(t *testing.T, o Options) string {
 }
 
 // TestFaultZeroSpecIsByteIdentical is the tentpole's zero-fault
-// contract: a disabled fault plan (zero spec, or "-faults ''" parsed to
+// contract: a disabled fault plan (zero spec, or an empty -faults string
 // nil) attaches no injector, so the whole suite renders byte-identically
 // to a run that never heard of faults.
 func TestFaultZeroSpecIsByteIdentical(t *testing.T) {

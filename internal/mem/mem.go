@@ -18,9 +18,8 @@ package mem
 import (
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
+	"sync"        //simvet:allow host-side cache-backing pool shared across harness workers; never touches simulated state
+	"sync/atomic" //simvet:allow host-side cache-backing pool shared across harness workers; never touches simulated state
 
 	"compmig/internal/network"
 	"compmig/internal/profile"
@@ -698,8 +697,7 @@ func (s *System) fastLocalMiss(proc int, line Addr, write bool) bool {
 func (s *System) accessLine(th *sim.Thread, proc int, line Addr, write bool) {
 	s.nSlow++
 	if profile.Enabled() {
-		start := time.Now()
-		defer func() { profile.MemSlow.Ns.Add(time.Since(start).Nanoseconds()) }()
+		defer profile.MemSlow.TimeNs()()
 	}
 	cpu := s.mach.Proc(proc)
 	th.Exec(cpu, s.p.HitCycles) // tag lookup always costs a hit time

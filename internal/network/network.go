@@ -8,7 +8,6 @@ package network
 
 import (
 	"fmt"
-	"time"
 
 	"compmig/internal/fault"
 	"compmig/internal/profile"
@@ -183,8 +182,7 @@ func (n *Network) SendAfter(m *Message, recvDelay uint64, arrive func(*Message))
 		return
 	}
 	if profile.Enabled() {
-		start := time.Now()
-		defer func() { profile.NetSends.AddTimed(1, time.Since(start)) }()
+		defer profile.NetSends.Time(1)()
 	}
 	words := m.Words()
 	n.col.CountMessage(m.Kind, words)

@@ -40,6 +40,26 @@ func (s *Section) AddTimed(n uint64, d time.Duration) {
 	s.Ns.Add(d.Nanoseconds())
 }
 
+// Time starts a host-time measurement and returns the stop function that
+// records n entries with the elapsed time; the intended use is
+// `defer sec.Time(1)()`. Keeping the time.Now calls inside this package
+// is part of the simvet nodeterminism contract: simulation-charged
+// packages never touch the host clock directly, they only bracket a
+// region with a profile timer that is inert (and cheap) unless the
+// -profile flag enabled timing. Host timing can never perturb simulated
+// event order either way — it observes the run, the event heap orders it.
+func (s *Section) Time(n uint64) func() {
+	start := time.Now()
+	return func() { s.AddTimed(n, time.Since(start)) }
+}
+
+// TimeNs is Time for call sites that batch their counts separately: the
+// stop function adds only the elapsed nanoseconds.
+func (s *Section) TimeNs() func() {
+	start := time.Now()
+	return func() { s.Ns.Add(time.Since(start).Nanoseconds()) }
+}
+
 // The profiled sections. Mem counts are line-granularity accesses; the
 // slow-path timing is inclusive — under the engine's direct-handoff
 // dispatch a blocked access pumps other events on its own goroutine, so

@@ -53,7 +53,11 @@ func (e *Engine) Spawn(name string, delay Time, body func(*Thread)) *Thread {
 			body:   body,
 			resume: make(chan struct{}),
 		}
-		go th.loop()
+		// The goroutine is the coroutine substrate itself: the engine's
+		// single-runner handoff (resume/handoff channels) guarantees at
+		// most one simulated thread executes at a time, so spawning here
+		// cannot introduce scheduling nondeterminism (see package doc).
+		go th.loop() //simvet:allow coroutine substrate; single-runner handoff keeps execution deterministic
 	}
 	e.liveThreads++
 	e.allThreads[th] = struct{}{}
