@@ -34,6 +34,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
 	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
 	trace := flag.Int("trace", 0, "dump the last N simulation events to stderr")
+	shards := flag.Int("shards", 0, "accepted for parity with countnet; the B-tree always runs on the serial engine")
 	flag.Parse()
 
 	if *fanout <= 0 || *keys <= 0 || *procs <= 0 || *threads <= 0 {
@@ -72,7 +73,7 @@ func main() {
 		Params: p, InitialKeys: *keys, Threads: *threads, Think: *think,
 		LookupFrac: *lookup, Scheme: scheme, Seed: *seed,
 		Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
-		TraceCap: *trace, Policy: *policySpec, Faults: faults,
+		TraceCap: *trace, Policy: *policySpec, Faults: faults, Shards: *shards,
 	})
 	if *policyStats != "" {
 		data, err := json.MarshalIndent(r.PolicyStats, "", "  ")

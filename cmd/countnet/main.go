@@ -31,6 +31,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
 	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
 	trace := flag.Int("trace", 0, "dump the last N simulation events to stderr")
+	shards := flag.Int("shards", 0, "sharded event engines (0 = serial; CM/RPC schemes only, output identical for any N >= 1)")
 	flag.Parse()
 
 	if *width <= 0 || *threads <= 0 {
@@ -60,7 +61,7 @@ func main() {
 	r := countnet.RunExperiment(countnet.Config{
 		Width: *width, Threads: *threads, Think: *think, Scheme: scheme,
 		Seed: *seed, Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
-		TraceCap: *trace, Policy: *policySpec, Faults: faults,
+		TraceCap: *trace, Policy: *policySpec, Faults: faults, Shards: *shards,
 	})
 	if *policyStats != "" {
 		data, err := json.MarshalIndent(r.PolicyStats, "", "  ")

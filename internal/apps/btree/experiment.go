@@ -53,6 +53,13 @@ type Config struct {
 	// Faults, when it enables any fault, attaches a deterministic fault
 	// injector to the network and runs the post-run invariant checker.
 	Faults *fault.Spec
+	// Shards is accepted for interface parity with countnet.Config but
+	// the B-tree always runs on the serial engine: every operation
+	// descends through the shared root (and splits rewrite ancestor
+	// nodes under the tree lock), so processor-partitioned lanes would
+	// all contend on the same objects and the sharded engine's
+	// state-partitioning precondition does not hold.
+	Shards int
 }
 
 // WithDefaults fills unset fields with the paper's parameters.

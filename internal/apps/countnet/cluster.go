@@ -1,0 +1,141 @@
+package countnet
+
+import (
+	"compmig/internal/core"
+	"compmig/internal/network"
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// parallelEligible reports whether this configuration can run on the
+// sharded engine. The CM and RPC schemes qualify: every piece of
+// simulated state they touch (balancer toggles, counters, reply slots)
+// is accessed only at its home processor, so partitioning processors
+// into lanes partitions the state. Shared-memory and object-migration
+// schemes move state between processors through host-side structures,
+// policies and fault plans keep global mutable state, and tracing
+// requires one totally ordered event log — all of those stay serial.
+func (c Config) parallelEligible() bool {
+	switch c.Scheme.Mechanism {
+	case core.Migrate, core.RPC:
+	default:
+		return false
+	}
+	return !c.Scheme.Replication && c.Policy == "" && !c.Faults.Enabled() && c.TraceCap == 0
+}
+
+// runClustered is RunExperiment on a sharded event-engine cluster. The
+// workload construction mirrors the serial path exactly — same machine
+// shape, same object placement, same requester start delays (drawn from
+// the root lane's PRNG during setup) — so a result is a function of the
+// configuration alone, not of the shard count.
+//
+// Measurements are kept in one collector per lane and folded together
+// after the run. Windowed throughput and bandwidth cannot use the
+// per-collector window marks (each lane sees only its slice of the
+// traffic), so barrier callbacks snapshot the summed counters at the
+// window edges and apply the same float arithmetic the serial
+// Collector.Throughput/Bandwidth use; integer sums are shard-count
+// invariant, which makes the reported floats bitwise identical across
+// shard counts.
+func runClustered(cfg Config) Result {
+	model := cfg.Scheme.Model()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+
+	numBal := 0
+	for _, st := range Bitonic(cfg.Width).Stages {
+		numBal += len(st)
+	}
+	reqProcs := (cfg.Threads + cfg.ThreadsPerProc - 1) / cfg.ThreadsPerProc
+	nprocs := numBal + reqProcs
+	shards := cfg.Shards
+	if shards > nprocs {
+		shards = nprocs
+	}
+
+	cl := sim.NewCluster(cfg.Seed, shards)
+	mach := cl.NewMachine(nprocs)
+	cols := make([]*stats.Collector, shards)
+	for i := range cols {
+		cols[i] = stats.NewCollector()
+	}
+	topo := topology(cfg.Mesh, nprocs)
+	perHop := model.NetTransitPerHop
+	if cfg.Mesh && perHop == 0 {
+		perHop = 2
+	}
+	net := network.New(cl.Root(), topo, cols[0], model.NetTransitBase, perHop)
+	net.Shard(cl, cols)
+	cl.SetLookahead(sim.Time(network.Lookahead(topo, cl.Groups(), model.NetTransitBase, perHop)))
+
+	rt := core.New(cl.Root(), mach, net, cols[0], model)
+	rt.Shard(cl, cols)
+	n := Build(rt, nil, cfg.Scheme, cfg.Width)
+
+	stop := cfg.Warmup + cfg.Measure
+	rng := cl.Root().Rand().Fork()
+	for i := 0; i < cfg.Threads; i++ {
+		proc := numBal + i/cfg.ThreadsPerProc
+		wire := i % cfg.Width
+		delay := sim.Time(rng.Intn(200))
+		lcol := cols[cl.LaneOf(proc)]
+		p := mach.Proc(proc)
+		p.Spawn("requester", delay, func(th *sim.Thread) {
+			task := rt.NewTask(th, proc)
+			for th.Now() < stop {
+				start := th.Now()
+				n.Traverse(task, wire)
+				lcol.CountOp(uint64(th.Now() - start))
+				if cfg.Think > 0 {
+					task.Think(cfg.Think)
+				}
+			}
+		})
+	}
+
+	var startOps, startWords uint64
+	cl.AtBarrier(cfg.Warmup, func() {
+		for _, c := range cols {
+			startOps += c.Ops
+			startWords += c.WordsSent
+		}
+	})
+	res := Result{Scheme: cfg.Scheme.Name(), Threads: cfg.Threads, Think: cfg.Think}
+	cl.AtBarrier(stop, func() {
+		var ops, words uint64
+		for _, c := range cols {
+			ops += c.Ops
+			words += c.WordsSent
+		}
+		dt := uint64(stop) - uint64(cfg.Warmup)
+		res.Throughput = float64(ops-startOps) * 1000 / float64(dt)
+		res.Bandwidth = float64(words-startWords) * 10 / float64(dt)
+	})
+	if err := cl.Run(); err != nil {
+		panic("countnet: experiment did not quiesce: " + err.Error())
+	}
+
+	col := stats.NewCollector()
+	for _, c := range cols {
+		col.AddFrom(c)
+	}
+	res.Ops = col.Ops
+	res.MeanLatency = col.MeanOpLatency()
+	res.Messages = col.TotalMessages()
+	if col.Ops > 0 {
+		res.WordsPerOp = float64(col.WordsSent) / float64(col.Ops)
+	}
+	res.HitRate = col.HitRate()
+	res.P95Latency = col.Latency.Quantile(0.95)
+	entry := len(Bitonic(cfg.Width).Stages[0])
+	var u float64
+	for p := 0; p < entry; p++ {
+		u += mach.Proc(p).Utilization()
+	}
+	res.EntryUtilization = u / float64(entry)
+	res.ObjectMoves = rt.Objects.Moves
+	res.Forwards = col.Forwards
+	return res
+}

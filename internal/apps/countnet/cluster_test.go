@@ -1,0 +1,79 @@
+package countnet
+
+import (
+	"reflect"
+	"testing"
+
+	"compmig/internal/core"
+)
+
+// TestClusterShardCountIdentity is the sharded engine's core contract:
+// the same configuration produces identical results at every shard
+// count, for both parallel-eligible schemes.
+func TestClusterShardCountIdentity(t *testing.T) {
+	for _, scheme := range []core.Scheme{{Mechanism: core.Migrate}, {Mechanism: core.RPC}} {
+		scheme := scheme
+		t.Run(scheme.Name(), func(t *testing.T) {
+			var base Result
+			for i, shards := range []int{1, 2, 4, 8} {
+				cfg := Config{
+					Threads: 16, Scheme: scheme, Seed: 7,
+					Warmup: 5000, Measure: 30000, Shards: shards,
+				}
+				res := RunExperiment(cfg)
+				if res.Ops == 0 {
+					t.Fatalf("shards=%d completed no operations", shards)
+				}
+				if i == 0 {
+					base = res
+					continue
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Errorf("shards=%d diverged from shards=1:\n  1: %+v\n  %d: %+v",
+						shards, base, shards, res)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterMeshIdentity covers the mesh topology, whose per-hop
+// latencies give each lane pair a different lookahead contribution.
+func TestClusterMeshIdentity(t *testing.T) {
+	var base Result
+	for i, shards := range []int{1, 3, 8} {
+		cfg := Config{
+			Threads: 16, Scheme: core.Scheme{Mechanism: core.Migrate}, Seed: 11,
+			Warmup: 5000, Measure: 30000, Mesh: true, Shards: shards,
+		}
+		res := RunExperiment(cfg)
+		if res.Ops == 0 {
+			t.Fatalf("shards=%d completed no operations", shards)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("mesh shards=%d diverged from shards=1:\n  1: %+v\n  %d: %+v",
+				shards, base, shards, res)
+		}
+	}
+}
+
+// TestClusterIneligibleFallsBackToSerial pins the fallback rule: a
+// configuration the sharded engine does not support ignores Shards and
+// reproduces the serial engine's output exactly.
+func TestClusterIneligibleFallsBackToSerial(t *testing.T) {
+	cfg := Config{
+		Threads: 8, Scheme: core.Scheme{Mechanism: core.SharedMem}, Seed: 3,
+		Warmup: 5000, Measure: 20000,
+	}
+	serial := RunExperiment(cfg)
+	cfg.Shards = 4
+	sharded := RunExperiment(cfg)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("SM run with Shards=4 did not fall back to the serial engine:\n  serial:  %+v\n  sharded: %+v",
+			serial, sharded)
+	}
+}

@@ -46,6 +46,14 @@ type Config struct {
 	// Faults, when it enables any fault, attaches a deterministic fault
 	// injector to the network and runs the post-run invariant checker.
 	Faults *fault.Spec
+	// Shards, when >= 1, runs the simulation on that many sharded event
+	// engines synchronized by conservative lookahead (see sim.Cluster).
+	// Output is byte-identical across shard counts, but not to the
+	// serial (Shards == 0) engine, whose event-ordering keys differ.
+	// Configurations the sharded engine does not support — policies,
+	// faults, tracing, shared-memory or object-migration schemes,
+	// replication — silently fall back to the serial engine.
+	Shards int
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -112,6 +120,9 @@ type Result struct {
 // windowed throughput and bandwidth.
 func RunExperiment(cfg Config) Result {
 	cfg = cfg.WithDefaults()
+	if cfg.Shards >= 1 && cfg.parallelEligible() {
+		return runClustered(cfg)
+	}
 	eng := sim.NewEngine(cfg.Seed)
 	var tracer *sim.Tracer
 	if cfg.TraceCap > 0 {

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"compmig/internal/sim"
+	"compmig/internal/stats"
+)
+
+// laneState is one shard lane's slice of the runtime's mutable state:
+// its statistics collector, its reply-slot table, and its activation
+// count. Every field is touched only while that lane executes — reply
+// slots are allocated and completed at the operation's originating
+// processor, and charges go to the collector of the processor doing the
+// charging — so lanes never contend.
+type laneState struct {
+	col         *stats.Collector
+	replies     map[uint32]*sim.Future
+	nextReplyID uint32
+	freeIDs     []uint32
+	activations uint64
+}
+
+// Shard routes the runtime over a lane cluster: cycle charges, message
+// counters, reply-slot tables, and activation counts become per-lane
+// (cols, by lane index), so the lanes can execute concurrently within a
+// synchronization window. The object space, method/continuation tables,
+// and location hints stay shared — the first two are immutable after
+// setup and the hints are per-processor maps each touched only by its
+// own processor's stream. Sharding composes with neither fault
+// injection nor partial migration, whose recovery state is global.
+func (rt *Runtime) Shard(cl *sim.Cluster, cols []*stats.Collector) {
+	if rt.Net.FaultInjector() != nil {
+		panic("core: cannot shard a runtime with a fault injector attached")
+	}
+	if len(cols) != cl.Shards() {
+		panic(fmt.Sprintf("core: %d lane collectors for %d shards", len(cols), cl.Shards()))
+	}
+	rt.cl = cl
+	rt.lanes = make([]laneState, cl.Shards())
+	for i := range rt.lanes {
+		rt.lanes[i] = laneState{col: cols[i], replies: make(map[uint32]*sim.Future)}
+	}
+	rt.colOf = make([]*stats.Collector, rt.Mach.N())
+	for p := range rt.colOf {
+		rt.colOf[p] = cols[cl.LaneOf(p)]
+	}
+}
+
+// colAt returns the collector charges from processor proc's stream go
+// to: the lane collector under sharding, the runtime collector serially.
+func (rt *Runtime) colAt(proc int) *stats.Collector {
+	if rt.colOf != nil {
+		return rt.colOf[proc]
+	}
+	return rt.Col
+}
+
+// laneAt returns processor proc's lane state, or nil on a serial runtime.
+func (rt *Runtime) laneAt(proc int) *laneState {
+	if rt.lanes == nil {
+		return nil
+	}
+	return &rt.lanes[rt.cl.LaneOf(proc)]
+}
+
+// newReplyAt allocates a reply slot owned by processor proc's lane (the
+// processor the operation's reply will be delivered to). Serially it is
+// exactly newReply.
+func (rt *Runtime) newReplyAt(proc int) (uint32, *sim.Future) {
+	ls := rt.laneAt(proc)
+	if ls == nil {
+		return rt.newReply()
+	}
+	var id uint32
+	if n := len(ls.freeIDs); n > 0 {
+		id = ls.freeIDs[n-1]
+		ls.freeIDs = ls.freeIDs[:n-1]
+	} else {
+		ls.nextReplyID++
+		id = ls.nextReplyID
+	}
+	f := &sim.Future{}
+	ls.replies[id] = f
+	return id, f
+}
+
+// completeReplyAt settles a reply slot owned by processor proc's lane.
+// Serially it is exactly completeReply.
+func (rt *Runtime) completeReplyAt(proc int, id uint32, words []uint32) {
+	ls := rt.laneAt(proc)
+	if ls == nil {
+		rt.completeReply(id, words)
+		return
+	}
+	f, ok := ls.replies[id]
+	if !ok {
+		panic(fmt.Sprintf("core: reply id %d unknown or already completed", id))
+	}
+	delete(ls.replies, id)
+	ls.freeIDs = append(ls.freeIDs, id)
+	f.Complete(words)
+}
+
+// bumpActivations counts a migration activation started on proc.
+func (rt *Runtime) bumpActivations(proc int) {
+	if ls := rt.laneAt(proc); ls != nil {
+		ls.activations++
+		return
+	}
+	rt.Activations++
+}
+
+// ActivationsTotal returns migration activations summed across lanes
+// (or the serial count when the runtime is not sharded).
+func (rt *Runtime) ActivationsTotal() uint64 {
+	total := rt.Activations
+	for i := range rt.lanes {
+		total += rt.lanes[i].activations
+	}
+	return total
+}

@@ -43,6 +43,12 @@ type Options struct {
 	// nothing — output stays byte-identical to a fault-free run. The
 	// ext-fault experiment ignores this field: it sweeps its own plans.
 	Faults *fault.Spec
+	// Shards, when >= 1, runs parallel-eligible simulations on that many
+	// sharded event engines (countnet CM/RPC points; everything else
+	// falls back to the serial engine — see countnet.Config.Shards).
+	// Results are identical for any Shards >= 1 but differ from the
+	// serial engine's, so the pinned-baseline suites keep Shards == 0.
+	Shards int
 }
 
 // ParseFaults parses the -faults flag grammar into a plan for
@@ -189,7 +195,8 @@ func threadCounts(quick bool) []int {
 // ExperimentIDs lists every experiment id Run accepts, excluding "all".
 func ExperimentIDs() []string {
 	return []string{"fig1", "fig2", "fig3", "table1", "table2", "table3",
-		"table4", "table5", "smallnode", "ext-objmig", "ext-policy", "ext-fault"}
+		"table4", "table5", "smallnode", "ext-objmig", "ext-policy",
+		"ext-fault", "scale"}
 }
 
 // plan maps an experiment id to the sweeps it needs plus an optional
@@ -220,17 +227,20 @@ func plan(id string, o Options) ([]experiment, string, error) {
 		return []experiment{policyExp(o), btreePolicyExp(o)}, "", nil
 	case "ext-fault":
 		return []experiment{faultExp(o), btreeFaultExp(o)}, "", nil
+	case "scale":
+		return []experiment{scaleExp(o)}, "", nil
 	case "all":
-		// ext-fault stays out of "all" on purpose: "all" is the
+		// ext-fault and scale stay out of "all" on purpose: "all" is the
 		// byte-identity baseline the A/B suite pins, and it must remain a
-		// fault-free run.
+		// fault-free run of moderate size (the scale sweep builds
+		// 256-1024 processor machines).
 		return []experiment{
 			fig1Exp(o), countnetExp(o), btree12Exp(o), btree34Exp(o),
 			table5Exp(o), smallNodeExp(o), objMigExp(o), btreeObjMigExp(o),
 			policyExp(o), btreePolicyExp(o),
 		}, "", nil
 	default:
-		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, all)", id)
+		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, scale, all)", id)
 	}
 }
 
@@ -283,6 +293,7 @@ func countnetExp(o Options) experiment {
 					Threads: n, Think: think, Scheme: s,
 					Seed: o.seed(), Warmup: warmup, Measure: measure,
 					Policy: abPolicy(s.Mechanism), Faults: o.Faults,
+					Shards: o.Shards,
 				}
 				specs = append(specs, RunSpec{
 					Label: fmt.Sprintf("countnet/%s/think=%d/threads=%d", s.Name(), think, n),
@@ -364,6 +375,7 @@ func btree12Exp(o Options) experiment {
 			Scheme: s, Think: 0, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
 			Policy: abPolicy(s.Mechanism), Faults: o.Faults,
+			Shards: o.Shards,
 		}
 		specs = append(specs, RunSpec{
 			Label: "table1/" + s.Name(),
@@ -419,6 +431,7 @@ func btree34Exp(o Options) experiment {
 			Scheme: s, Think: 10000, Seed: o.seed(),
 			Warmup: warmup, Measure: measure,
 			Policy: abPolicy(s.Mechanism), Faults: o.Faults,
+			Shards: o.Shards,
 		}
 		specs = append(specs, RunSpec{
 			Label: "table3/" + s.Name(),

@@ -1,0 +1,66 @@
+package network
+
+import "testing"
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestCrossbarMinHops(t *testing.T) {
+	c := Crossbar{}
+	if got := c.MinHops([]int{0, 1}, []int{2, 3}); got != 1 {
+		t.Errorf("disjoint groups: got %d hops, want 1", got)
+	}
+	if got := c.MinHops([]int{0, 1}, []int{1, 2}); got != 0 {
+		t.Errorf("overlapping groups: got %d hops, want 0", got)
+	}
+	mustPanic(t, "MinHops with empty groupA", func() { c.MinHops(nil, []int{0}) })
+	mustPanic(t, "MinHops with empty groupB", func() { c.MinHops([]int{0}, nil) })
+}
+
+func TestMeshMinHops(t *testing.T) {
+	m := NewMesh(4, 4)
+	// Proc 0 is cell (0,0); procs 10 and 15 are cells (2,2) and (3,3),
+	// at Manhattan distances 4 and 6 — the minimum wins.
+	if got := m.MinHops([]int{0}, []int{10, 15}); got != 4 {
+		t.Errorf("got %d hops, want 4", got)
+	}
+	// Adjacent cells dominate the minimum: 5 (1,1) and 6 (1,2).
+	if got := m.MinHops([]int{0, 5}, []int{6, 15}); got != 1 {
+		t.Errorf("got %d hops, want 1", got)
+	}
+	if got := m.MinHops([]int{7}, []int{7}); got != 0 {
+		t.Errorf("shared proc: got %d hops, want 0", got)
+	}
+	mustPanic(t, "MinHops with empty group", func() { m.MinHops([]int{0}, nil) })
+	mustPanic(t, "MinHops with out-of-range proc", func() { m.MinHops([]int{0}, []int{16}) })
+	mustPanic(t, "MinHops with negative proc", func() { m.MinHops([]int{-1}, []int{0}) })
+}
+
+func TestLookahead(t *testing.T) {
+	m := NewMesh(4, 2)
+	// Contiguous halves: closest cross pair is 3 <-> 4? No: 3 is (0,3),
+	// 4 is (1,0) -> 4 hops; but 3 <-> 7 is (0,3)-(1,3) -> 1 hop.
+	groups := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	if got := Lookahead(m, groups, 10, 2); got != 12 {
+		t.Errorf("got lookahead %d, want 12 (base 10 + 2*1 hop)", got)
+	}
+	if got := Lookahead(m, groups[:1], 10, 2); got != 0 {
+		t.Errorf("single group: got lookahead %d, want 0", got)
+	}
+	// Asymmetric bases do not matter (Lookahead minimizes over ordered
+	// pairs of the same symmetric MinHops), but more distant groupings do.
+	far := [][]int{{0}, {7}}
+	if got := Lookahead(m, far, 10, 2); got != 18 {
+		t.Errorf("corner groups: got lookahead %d, want 18 (base 10 + 2*4 hops)", got)
+	}
+	if got := Lookahead(Crossbar{}, groups, 17, 0); got != 17 {
+		t.Errorf("crossbar: got lookahead %d, want 17", got)
+	}
+}

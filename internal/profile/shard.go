@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"sync"
+	"time"
+)
+
+// ShardCounters are one clustered run's per-lane statistics: how many
+// simulated events each lane executed, how many synchronization windows
+// it sat out ("null windows" — the window-barrier analogue of PDES null
+// messages), how many cross-lane messages it originated, and how many
+// host nanoseconds it spent finished-and-waiting at window barriers.
+// The slices are indexed by lane; all fields are written only by the
+// cluster coordinator or, for the barrier stamps, by each lane's own
+// driver goroutine with the coordinator's channel barrier ordering the
+// reads.
+type ShardCounters struct {
+	Shards    int
+	Windows   uint64
+	Events    []uint64
+	Nulls     []uint64
+	Cross     []uint64
+	BlockedNs []int64
+
+	finishNs []int64 // per-window completion stamps, reset each window
+}
+
+// NewShardCounters returns zeroed counters for a cluster of shards lanes.
+func NewShardCounters(shards int) *ShardCounters {
+	return &ShardCounters{
+		Shards:    shards,
+		Events:    make([]uint64, shards),
+		Nulls:     make([]uint64, shards),
+		Cross:     make([]uint64, shards),
+		BlockedNs: make([]int64, shards),
+		finishNs:  make([]int64, shards),
+	}
+}
+
+// LaneFinished stamps the host time lane completed the current window.
+// Lane drivers call it from their own goroutines; keeping the time.Now
+// inside this package upholds the nodeterminism contract for the sim
+// package, and the stamp can never perturb simulated order.
+func (c *ShardCounters) LaneFinished(lane int) {
+	c.finishNs[lane] = time.Now().UnixNano()
+}
+
+// WindowDone folds the window's completion stamps into BlockedNs: each
+// lane is charged the time between its own finish and the slowest
+// lane's. The coordinator calls it after the window barrier, so the
+// stamps are fully visible.
+func (c *ShardCounters) WindowDone() {
+	var last int64
+	for _, ns := range c.finishNs {
+		if ns > last {
+			last = ns
+		}
+	}
+	for i, ns := range c.finishNs {
+		if ns != 0 && ns < last {
+			c.BlockedNs[i] += last - ns
+		}
+		c.finishNs[i] = 0
+	}
+}
+
+// Process-wide accumulation of clustered-run counters, for bench
+// reports: RecordShard folds a finished run in, ShardSnapshot copies the
+// totals out. Lanes are aligned by index; runs with different shard
+// counts widen the slices.
+var (
+	shardMu  sync.Mutex
+	shardAgg ShardCounters
+)
+
+// RecordShard adds one finished run's counters to the process totals.
+func RecordShard(c *ShardCounters) {
+	shardMu.Lock()
+	defer shardMu.Unlock()
+	if c.Shards > shardAgg.Shards {
+		grow := func(s []uint64) []uint64 {
+			return append(s, make([]uint64, c.Shards-len(s))...)
+		}
+		shardAgg.Events = grow(shardAgg.Events)
+		shardAgg.Nulls = grow(shardAgg.Nulls)
+		shardAgg.Cross = grow(shardAgg.Cross)
+		shardAgg.BlockedNs = append(shardAgg.BlockedNs, make([]int64, c.Shards-len(shardAgg.BlockedNs))...)
+		shardAgg.Shards = c.Shards
+	}
+	shardAgg.Windows += c.Windows
+	for i := 0; i < c.Shards; i++ {
+		shardAgg.Events[i] += c.Events[i]
+		shardAgg.Nulls[i] += c.Nulls[i]
+		shardAgg.Cross[i] += c.Cross[i]
+		shardAgg.BlockedNs[i] += c.BlockedNs[i]
+	}
+}
+
+// ShardSnapshot returns a copy of the process-wide clustered-run totals.
+func ShardSnapshot() ShardCounters {
+	shardMu.Lock()
+	defer shardMu.Unlock()
+	out := ShardCounters{Shards: shardAgg.Shards, Windows: shardAgg.Windows}
+	out.Events = append([]uint64(nil), shardAgg.Events...)
+	out.Nulls = append([]uint64(nil), shardAgg.Nulls...)
+	out.Cross = append([]uint64(nil), shardAgg.Cross...)
+	out.BlockedNs = append([]int64(nil), shardAgg.BlockedNs...)
+	return out
+}

@@ -1,0 +1,452 @@
+// Sharded event engines with conservative lookahead (classic
+// conservative PDES, in the null-message family of Chandy/Misra/Bryant).
+//
+// A Cluster couples several engines ("lanes") into one logical
+// simulation. Processors are partitioned into contiguous lane groups;
+// each lane owns its own event heap, thread pool, and clock. The
+// coordinator advances the simulation in windows [T, T+L): T is the
+// earliest pending event across all lanes and L is the lookahead — the
+// minimum latency any cross-lane message can have, derived from the
+// network topology (network.Lookahead). Within a window the lanes are
+// causally independent (nothing a lane sends can arrive before T+L), so
+// they may run concurrently on host goroutines; between windows the
+// coordinator flushes the inter-lane outboxes into the destination
+// heaps. Instead of per-link null messages, the window barrier plays the
+// null-message role: a lane with no events inside a window contributes a
+// "null window" (counted in the per-shard profile) and just waits.
+//
+// Determinism and shard-invariance: every event carries a merge key
+// (at, stream, seq) where stream identifies the scheduling context (the
+// processor an event was scheduled from, or stream 0 for setup and
+// coordinator context) and seq comes from that stream's cluster-wide
+// counter. A stream's counter is only ever advanced while that stream
+// executes — which happens on exactly one lane — so the keys are
+// race-free, and because they name the scheduling context rather than
+// the lane layout, a given program computes identical keys at every
+// shard count. Each lane pops its heap in key order, the window
+// protocol guarantees no event arrives behind a lane's progress, and
+// per-processor state is only touched by that processor's stream, so
+// the per-processor event sequences — and any order-insensitive merge
+// of per-lane measurements — are byte-identical at shard-count 1 vs N.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"compmig/internal/profile"
+)
+
+// Cluster is a set of engine lanes advancing in conservative lookahead
+// windows. Build one with NewCluster, attach processors with
+// NewMachine, set the lookahead from the network topology, and drive
+// the whole simulation with Run.
+type Cluster struct {
+	lanes  []*Engine
+	laneOf []int // processor id -> lane index
+	groups [][]int
+
+	// ctrs[s] is the next merge-key sequence number of stream s: slot 0
+	// is the setup/coordinator stream, slot p+1 is processor p's stream.
+	// Each slot is written only while its stream executes (or during
+	// single-threaded setup), so concurrent lanes never share a slot.
+	ctrs []uint64
+
+	lookahead Time
+	globals   []globalFn
+	outbox    [][][]crossEvent // outbox[src lane][dst lane] = pending sends
+
+	counters *profile.ShardCounters
+}
+
+// globalFn is a coordinator-side callback fired at a window barrier once
+// every lane has passed time at (see AtBarrier).
+type globalFn struct {
+	at Time
+	fn func()
+}
+
+// crossEvent is one cross-lane message parked in an outbox between
+// windows, carrying the merge key computed at send time.
+type crossEvent struct {
+	at     Time
+	stream int32
+	seq    uint64
+	exec   int32
+	fn     func()
+}
+
+// NewCluster creates shards engine lanes. Lane 0 is the root lane: it is
+// seeded exactly like a serial NewEngine(seed), so setup code drawing
+// from Root().Rand() sees the same stream at every shard count. The
+// other lanes get deterministic per-lane streams forked from the seed
+// (unused by workloads that draw randomness only during setup).
+func NewCluster(seed uint64, shards int) *Cluster {
+	if shards <= 0 {
+		panic(fmt.Sprintf("sim: cluster needs at least one shard, got %d", shards))
+	}
+	cl := &Cluster{lanes: make([]*Engine, shards)}
+	for i := range cl.lanes {
+		e := NewEngine(seed)
+		if i > 0 {
+			// Distinct deterministic seed per lane (splitmix64 inside
+			// NewPRNG decorrelates them); lane 0 keeps the serial seed.
+			e.rng = NewPRNG(seed + uint64(i)*0x9E3779B97F4A7C15)
+		}
+		e.cluster, e.lane, e.curStream = cl, i, -1
+		cl.lanes[i] = e
+	}
+	cl.outbox = make([][][]crossEvent, shards)
+	for i := range cl.outbox {
+		cl.outbox[i] = make([][]crossEvent, shards)
+	}
+	return cl
+}
+
+// Shards returns the number of lanes.
+func (cl *Cluster) Shards() int { return len(cl.lanes) }
+
+// Root returns lane 0, the engine setup code should build against.
+func (cl *Cluster) Root() *Engine { return cl.lanes[0] }
+
+// Lane returns lane i.
+func (cl *Cluster) Lane(i int) *Engine { return cl.lanes[i] }
+
+// LaneOf returns the lane index owning processor p.
+func (cl *Cluster) LaneOf(p int) int { return cl.laneOf[p] }
+
+// Groups returns the processor ids of each lane, in lane order. The
+// network layer derives the lookahead from these via MinHops.
+func (cl *Cluster) Groups() [][]int { return cl.groups }
+
+// NewMachine creates n processors partitioned into contiguous lane
+// groups (processor p lives on lane p*shards/n) and sizes the cluster's
+// merge-key counter table. Call it once per cluster, before any events
+// are scheduled.
+func (cl *Cluster) NewMachine(n int) *Machine {
+	if n <= 0 {
+		panic("sim: machine needs at least one processor")
+	}
+	if cl.laneOf != nil {
+		panic("sim: cluster already has a machine")
+	}
+	shards := len(cl.lanes)
+	if shards > n {
+		panic(fmt.Sprintf("sim: %d shards for %d processors", shards, n))
+	}
+	cl.laneOf = make([]int, n)
+	cl.groups = make([][]int, shards)
+	cl.ctrs = make([]uint64, n+1)
+	m := &Machine{eng: cl.lanes[0], procs: make([]*Proc, n)}
+	for i := range m.procs {
+		lane := i * shards / n
+		cl.laneOf[i] = lane
+		cl.groups[lane] = append(cl.groups[lane], i)
+		m.procs[i] = &Proc{eng: cl.lanes[lane], id: i, execWhere: fmt.Sprintf("exec(p%d)", i)}
+	}
+	return m
+}
+
+// SetLookahead fixes the conservative window length: the minimum latency
+// of any cross-lane message. Cross-lane sends with a smaller delay
+// panic. Zero (the default) is only meaningful on a single-lane cluster,
+// where windows are unbounded; a multi-lane cluster falls back to
+// one-cycle windows, which is correct but slow.
+func (cl *Cluster) SetLookahead(l Time) { cl.lookahead = l }
+
+// Lookahead returns the configured lookahead.
+func (cl *Cluster) Lookahead() Time { return cl.lookahead }
+
+// AtBarrier registers fn to run on the coordinator once every lane has
+// executed all events before time at — the clustered analogue of a
+// setup-scheduled marker event, which likewise fires before any
+// runtime event at the same cycle. fn must not schedule events or touch
+// lane state other than reading it; callbacks at equal times fire in
+// registration order.
+func (cl *Cluster) AtBarrier(at Time, fn func()) {
+	cl.globals = append(cl.globals, globalFn{at: at, fn: fn})
+}
+
+// CrossSend schedules fn to run as processor dst's event stream at
+// src.Now()+delay, crossing lanes through the deterministic inter-lane
+// channel: the merge key is computed at send time from the sending
+// stream, the event is parked in the src→dst outbox, and the
+// coordinator flushes it into dst's heap at the next window barrier.
+// delay must be at least the cluster's lookahead — that is what makes
+// the barrier flush safe.
+func (cl *Cluster) CrossSend(src *Engine, delay Time, dst int, fn func()) {
+	if delay < cl.lookahead {
+		panic(fmt.Sprintf("sim: cross-lane send with delay %d below lookahead %d", delay, cl.lookahead))
+	}
+	stream := src.curStream + 1
+	seq := cl.ctrs[stream]
+	cl.ctrs[stream] = seq + 1
+	to := cl.laneOf[dst]
+	cl.outbox[src.lane][to] = append(cl.outbox[src.lane][to], crossEvent{
+		at: src.now + delay, stream: stream, seq: seq, exec: int32(dst), fn: fn,
+	})
+	if cl.counters != nil {
+		cl.counters.Cross[src.lane]++
+	}
+}
+
+// inject pushes a flushed cross-lane event straight onto the lane's
+// heap, bypassing schedule: the merge key was already drawn at send
+// time. Only the coordinator calls it, between windows.
+func (e *Engine) inject(ce crossEvent) {
+	if ce.at < e.now {
+		panic(fmt.Sprintf("sim: cross-lane event at %d behind lane clock %d", ce.at, e.now))
+	}
+	if profile.Enabled() {
+		profile.HeapOps.Add(1)
+	}
+	var ev *Event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		ev.at, ev.seq, ev.fn, ev.th = ce.at, ce.seq, ce.fn, nil
+		ev.stream, ev.exec = ce.stream, ce.exec
+	} else {
+		ev = &Event{at: ce.at, seq: ce.seq, fn: ce.fn, stream: ce.stream, exec: ce.exec, eng: e, index: -1}
+	}
+	e.heap.push(ev)
+}
+
+// flush moves every parked cross-lane event into its destination heap.
+func (cl *Cluster) flush() {
+	for src := range cl.outbox {
+		for dst, box := range cl.outbox[src] {
+			if len(box) == 0 {
+				continue
+			}
+			lane := cl.lanes[dst]
+			for i := range box {
+				lane.inject(box[i])
+				box[i].fn = nil
+			}
+			cl.outbox[src][dst] = box[:0]
+		}
+	}
+}
+
+// minTop returns the earliest pending event time across all lanes.
+func (cl *Cluster) minTop() (Time, bool) {
+	var top Time
+	ok := false
+	for _, e := range cl.lanes {
+		if len(e.heap) == 0 {
+			continue
+		}
+		if t := e.heap[0].at; !ok || t < top {
+			top, ok = t, true
+		}
+	}
+	return top, ok
+}
+
+// minGlobal returns the earliest pending barrier-callback time.
+func (cl *Cluster) minGlobal() (Time, bool) {
+	var at Time
+	ok := false
+	for _, g := range cl.globals {
+		if !ok || g.at < at {
+			at, ok = g.at, true
+		}
+	}
+	return at, ok
+}
+
+// fireGlobals aligns every lane clock to at and runs the barrier
+// callbacks registered for it, in registration order.
+func (cl *Cluster) fireGlobals(at Time) {
+	for _, e := range cl.lanes {
+		if e.now < at {
+			e.now = at
+		}
+	}
+	kept := cl.globals[:0]
+	for _, g := range cl.globals {
+		if g.at == at {
+			g.fn()
+		} else {
+			kept = append(kept, g)
+		}
+	}
+	cl.globals = kept
+}
+
+// Run drives every lane to completion: windows of conservative
+// lookahead, lane execution (concurrently on multi-CPU hosts), outbox
+// flushes, and barrier callbacks, until every heap drains. Like
+// Engine.Run it returns a *DeadlockError if threads are still parked
+// when events run out, and a *MaxEventsError if any lane's runaway
+// guard trips.
+func (cl *Cluster) Run() error {
+	defer func() {
+		for _, e := range cl.lanes {
+			e.drainThreadPool()
+		}
+	}()
+	if profile.Enabled() {
+		cl.counters = profile.NewShardCounters(len(cl.lanes))
+		defer func() {
+			profile.RecordShard(cl.counters)
+			cl.counters = nil
+		}()
+	}
+	var drivers []laneDriver
+	if len(cl.lanes) > 1 && runtime.GOMAXPROCS(0) > 1 {
+		drivers = cl.startDrivers()
+		defer func() {
+			for _, d := range drivers {
+				close(d.work)
+			}
+		}()
+	}
+	before := make([]uint64, len(cl.lanes))
+	for {
+		top, ok := cl.minTop()
+		gAt, gok := cl.minGlobal()
+		if !ok && !gok {
+			break
+		}
+		if gok && (!ok || gAt <= top) {
+			cl.fireGlobals(gAt)
+			continue
+		}
+		var end Time
+		switch {
+		case len(cl.lanes) == 1 && cl.lookahead == 0:
+			end = ^Time(0) // serial cluster: run to the next barrier or dry
+		case cl.lookahead == 0:
+			end = top + 1
+		default:
+			end = top + cl.lookahead
+		}
+		if gok && gAt < end {
+			end = gAt
+		}
+		if end <= top {
+			end = top + 1
+		}
+		limit := end - 1
+		for i, e := range cl.lanes {
+			before[i] = e.processed
+		}
+		err := cl.runLanes(drivers, limit)
+		if c := cl.counters; c != nil {
+			c.Windows++
+			for i, e := range cl.lanes {
+				d := e.processed - before[i]
+				c.Events[i] += d
+				if d == 0 {
+					c.Nulls[i]++
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+		cl.flush()
+		stopped := false
+		for _, e := range cl.lanes {
+			stopped = stopped || e.stopped
+		}
+		if stopped {
+			break
+		}
+	}
+	live := 0
+	var maxNow Time
+	for _, e := range cl.lanes {
+		live += e.liveThreads
+		if e.now > maxNow {
+			maxNow = e.now
+		}
+	}
+	for _, e := range cl.lanes {
+		if e.now < maxNow {
+			e.now = maxNow
+		}
+	}
+	if live > 0 {
+		var blocked []string
+		for _, e := range cl.lanes {
+			for th := range e.allThreads {
+				blocked = append(blocked, th.String())
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: maxNow, Blocked: blocked}
+	}
+	return nil
+}
+
+// runLanes executes one window on every lane: through the persistent
+// drivers when the host is multi-CPU, in lane order otherwise (the two
+// are semantically identical — lanes share nothing within a window).
+// The first failing lane's error wins, deterministically by lane index.
+func (cl *Cluster) runLanes(drivers []laneDriver, limit Time) error {
+	if drivers == nil {
+		for _, e := range cl.lanes {
+			if len(e.heap) == 0 || e.heap[0].at > limit {
+				continue
+			}
+			if err := e.runWindow(limit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, d := range drivers {
+		d.work <- limit
+	}
+	var first error
+	for _, d := range drivers {
+		if err := <-d.done; err != nil && first == nil {
+			first = err
+		}
+	}
+	if c := cl.counters; c != nil {
+		c.WindowDone()
+	}
+	return first
+}
+
+// laneDriver is the persistent host goroutine owning one lane's window
+// execution in parallel mode; work carries window limits, done carries
+// the per-window result back to the coordinator barrier.
+type laneDriver struct {
+	work chan Time
+	done chan error
+}
+
+// startDrivers launches one host goroutine per lane. This is
+// host-parallel orchestration in the harness worker-pool sense: within
+// a window the lanes are causally independent and share no simulation
+// state, and the coordinator's channel barrier separates lane execution
+// from every cross-lane mutation (outbox flush, barrier callbacks).
+func (cl *Cluster) startDrivers() []laneDriver {
+	drivers := make([]laneDriver, len(cl.lanes))
+	for i := range drivers {
+		drivers[i] = laneDriver{work: make(chan Time), done: make(chan error)}
+		e := cl.lanes[i]
+		d := drivers[i]
+		lane := i
+		go func() { //simvet:allow shard-lane driver; lanes share no state within a window and the coordinator's channel barrier orders all cross-lane effects
+			for limit := range d.work {
+				var err error
+				if len(e.heap) > 0 && e.heap[0].at <= limit {
+					err = e.runWindow(limit)
+				}
+				if c := cl.counters; c != nil {
+					c.LaneFinished(lane)
+				}
+				d.done <- err
+			}
+		}()
+	}
+	return drivers
+}

@@ -20,6 +20,12 @@ type Thread struct {
 	state  threadState
 	where  string // description of the blocking site, for deadlock reports
 
+	// stream is the event stream the thread's wakeups execute as: the
+	// processor the thread is bound to on a clustered engine (set by
+	// Proc.Spawn), or the spawner's ambient stream. Zero and unused on a
+	// serial engine.
+	stream int32
+
 	// scratch is the future handed out by ScratchFuture.
 	scratch Future
 }
@@ -37,6 +43,12 @@ const (
 // e.Now()+delay. The body runs under engine control; it must only interact
 // with the simulation through the Thread it receives.
 func (e *Engine) Spawn(name string, delay Time, body func(*Thread)) *Thread {
+	return e.spawnAt(name, delay, body, e.curStream)
+}
+
+// spawnAt is Spawn with an explicit stream binding: the thread's wakeup
+// events execute as stream (processor id on a clustered engine).
+func (e *Engine) spawnAt(name string, delay Time, body func(*Thread), stream int32) *Thread {
 	e.nextTID++
 	var th *Thread
 	if n := len(e.threadPool); n > 0 {
@@ -45,6 +57,7 @@ func (e *Engine) Spawn(name string, delay Time, body func(*Thread)) *Thread {
 		e.threadPool = e.threadPool[:n-1]
 		th.id, th.name, th.body = e.nextTID, name, body
 		th.state, th.where = threadRunnable, ""
+		th.stream = stream
 	} else {
 		th = &Thread{
 			eng:    e,
@@ -52,6 +65,7 @@ func (e *Engine) Spawn(name string, delay Time, body func(*Thread)) *Thread {
 			name:   name,
 			body:   body,
 			resume: make(chan struct{}),
+			stream: stream,
 		}
 		// The goroutine is the coroutine substrate itself: the engine's
 		// single-runner handoff (resume/handoff channels) guarantees at
@@ -163,6 +177,9 @@ func (th *Thread) park(where string) {
 		}
 		e.now = ev.at
 		e.processed++
+		if e.cluster != nil {
+			e.curStream = ev.exec
+		}
 		if tw := ev.th; tw != nil {
 			e.release(ev)
 			if tw == th {

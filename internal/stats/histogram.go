@@ -39,6 +39,25 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[bucketOf(v)]++
 }
 
+// AddFrom merges another histogram's observations into h, as if every
+// value o observed had been observed by h. Merge order does not matter.
+func (h *Histogram) AddFrom(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for b, n := range o.buckets {
+		h.buckets[b] += n
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
