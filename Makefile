@@ -16,9 +16,9 @@ BENCH_BASELINE := BENCH_2026-08-06-policy.json
 BENCH_CURRENT  := BENCH_2026-08-06-fault.json
 BENCH_SHARDS   := BENCH_2026-08-08-shards.json
 
-.PHONY: check lint vet simvet build test race ab-identity shard-identity fuzz-smoke smoke fault-smoke benchdiff-smoke bench-gate bench bench-json
+.PHONY: check lint vet simvet build test race ab-identity shard-identity fuzz-smoke smoke kv-smoke fault-smoke benchdiff-smoke bench-gate bench bench-json
 
-check: lint build test race ab-identity shard-identity fuzz-smoke smoke fault-smoke benchdiff-smoke
+check: lint build test race ab-identity shard-identity fuzz-smoke smoke kv-smoke fault-smoke benchdiff-smoke
 	@echo "check: all green"
 
 # lint is go vet plus simvet, the repo's own determinism/purity analyzer
@@ -75,6 +75,20 @@ fuzz-smoke:
 smoke:
 	$(GO) run ./cmd/paperfigs -exp all -quick -workers 4 > /dev/null
 	@echo "smoke: paperfigs -exp all -quick -workers 4 ok"
+
+# kv-smoke drives the KV/session store end to end: the ext-kv sweep
+# (skew x heterogeneity x policy, invariant checkers run inside every
+# cell and its renderer panics on a violation), the worker-count
+# byte-identity and mechanism-crossover tests, and one CLI run per
+# scheme — each exits nonzero if read-your-writes or no-lost-updates is
+# violated.
+kv-smoke:
+	$(GO) run ./cmd/paperfigs -exp ext-kv -quick -workers 4 > /dev/null
+	$(GO) test ./internal/harness/ -run 'TestKVWorkerIdentity|TestKVCrossover' -count=1
+	$(GO) run ./cmd/kv -scheme rpc -workload 'keys=128,ops=500,period=300,zipf=0.9,mix=60:35:5' > /dev/null
+	$(GO) run ./cmd/kv -scheme cm -hetero gradient:1:4 -workload 'keys=128,ops=500,period=300' > /dev/null
+	$(GO) run ./cmd/kv -scheme sm -hetero bimodal:4:0.5 -faults 'drop=0.02,seed=5' > /dev/null
+	@echo "kv-smoke: store invariants held across schemes, heterogeneity, and faults"
 
 # fault-smoke drives both applications through a faulty run end to end:
 # the ext-fault sweep (invariant checkers run inside, and the harness

@@ -38,6 +38,14 @@ type entry struct {
 	ShardEvents  uint64  `json:"shard_events"`
 	ShardNulls   uint64  `json:"shard_nulls"`
 	ShardCross   uint64  `json:"shard_cross"`
+	// Simulated per-request latency percentiles in cycles (zero when the
+	// experiment does not measure per-request latency). These are
+	// simulation results, not host timings: a changed percentile means
+	// the simulated behavior changed, which the identity suites treat as
+	// a functional difference, not a performance one.
+	LatencyP50 uint64 `json:"latency_p50"`
+	LatencyP95 uint64 `json:"latency_p95"`
+	LatencyP99 uint64 `json:"latency_p99"`
 }
 
 type report struct {
@@ -94,6 +102,7 @@ func main() {
 			fmt.Printf("%-12s %3d %3d  %10s %10.1f %8s  %12d %8s\n",
 				n.Experiment, n.Workers, n.Shards, "-", n.WallMS, "new", n.Allocs, "new")
 			printShardCounters(n)
+			printLatency(entry{}, n)
 			continue
 		}
 		matched++
@@ -103,6 +112,7 @@ func main() {
 		fmt.Printf("%-12s %3d %3d  %10.1f %10.1f %+7.1f%%  %12d %+7.1f%%\n",
 			n.Experiment, n.Workers, n.Shards, o.WallMS, n.WallMS, wallPct, n.Allocs, allocPct)
 		printShardCounters(n)
+		printLatency(o, n)
 		if *threshold > 0 && o.WallMS >= gateFloorMS && wallPct > *threshold {
 			fmt.Fprintf(os.Stderr, "benchdiff: %s workers=%d shards=%d wall clock regressed %.1f%% (limit %.1f%%)\n",
 				n.Experiment, n.Workers, n.Shards, wallPct, *threshold)
@@ -133,6 +143,22 @@ func printShardCounters(e entry) {
 	}
 	fmt.Printf("%-12s      windows=%d events=%d nulls=%d (%.1f%% of lane-windows) cross=%d\n",
 		"", e.ShardWindows, e.ShardEvents, e.ShardNulls, nullPct, e.ShardCross)
+}
+
+// printLatency renders an entry's simulated latency percentiles on a
+// detail line, flagging any percentile that moved against the old
+// report; entries without latency data print nothing.
+func printLatency(o, n entry) {
+	if n.LatencyP50 == 0 && n.LatencyP95 == 0 && n.LatencyP99 == 0 {
+		return
+	}
+	changed := ""
+	if o.LatencyP50 != 0 && (o.LatencyP50 != n.LatencyP50 || o.LatencyP95 != n.LatencyP95 || o.LatencyP99 != n.LatencyP99) {
+		changed = fmt.Sprintf("  (was p50=%d p95=%d p99=%d — simulated behavior changed)",
+			o.LatencyP50, o.LatencyP95, o.LatencyP99)
+	}
+	fmt.Printf("%-12s      latency cycles p50=%d p95=%d p99=%d%s\n",
+		"", n.LatencyP50, n.LatencyP95, n.LatencyP99, changed)
 }
 
 func load(path string) (report, error) {

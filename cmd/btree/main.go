@@ -37,6 +37,9 @@ func main() {
 	shards := flag.Int("shards", 0, "accepted for parity with countnet; the B-tree always runs on the serial engine")
 	flag.Parse()
 
+	if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "btree: -shards %d ignored: every B-tree operation descends through the shared root, so the tree cannot be partitioned into independent lanes; running on the serial engine\n", *shards)
+	}
 	if *fanout <= 0 || *keys <= 0 || *procs <= 0 || *threads <= 0 {
 		fmt.Fprintf(os.Stderr, "btree: -fanout, -keys, -nodeprocs, and -threads must be positive (got %d, %d, %d, %d)\n",
 			*fanout, *keys, *procs, *threads)

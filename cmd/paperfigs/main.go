@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig|ext-policy|ext-fault|scale]
+//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig|ext-policy|ext-fault|ext-kv|scale]
 //	          [-quick] [-seed N] [-format text|md] [-workers N] [-shards N] [-bench-json out.json]
 //	          [-faults SPEC] [-profile] [-cpuprofile out.pb] [-memprofile out.pb] [-fastpath=false]
 //
@@ -45,10 +45,11 @@ import (
 	"compmig/internal/harness"
 	"compmig/internal/mem"
 	"compmig/internal/profile"
+	"compmig/internal/stats"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, ext-kv, all")
 	quick := flag.Bool("quick", false, "short measurement windows (smoke run)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	format := flag.String("format", "text", "output format: text or md")
@@ -159,7 +160,13 @@ type benchEntry struct {
 	ShardEvents  uint64 `json:"shard_events"`
 	ShardNulls   uint64 `json:"shard_nulls"`
 	ShardCross   uint64 `json:"shard_cross"`
-	Tables       int    `json:"tables"`
+	// Simulated per-request latency percentiles in cycles, merged across
+	// every table the experiment rendered. Zero when the experiment does
+	// not measure per-request latency (only ext-kv does today).
+	LatencyP50 uint64 `json:"latency_p50,omitempty"`
+	LatencyP95 uint64 `json:"latency_p95,omitempty"`
+	LatencyP99 uint64 `json:"latency_p99,omitempty"`
+	Tables     int    `json:"tables"`
 }
 
 type benchReport struct {
@@ -277,8 +284,12 @@ func measure(id string, o harness.Options) (benchEntry, string, error) {
 		}
 	}
 	var b strings.Builder
+	lat := &stats.Histogram{}
 	for _, t := range tables {
 		b.WriteString(t.String())
+		if t.Latency != nil {
+			lat.AddFrom(t.Latency)
+		}
 	}
 	workers := o.Workers
 	if workers <= 0 {
@@ -297,6 +308,9 @@ func measure(id string, o harness.Options) (benchEntry, string, error) {
 		ShardEvents:  sumDelta(shAfter.Events, shBefore.Events),
 		ShardNulls:   sumDelta(shAfter.Nulls, shBefore.Nulls),
 		ShardCross:   sumDelta(shAfter.Cross, shBefore.Cross),
+		LatencyP50:   lat.Quantile(0.50),
+		LatencyP95:   lat.Quantile(0.95),
+		LatencyP99:   lat.Quantile(0.99),
 		Tables:       len(tables),
 	}, b.String(), nil
 }

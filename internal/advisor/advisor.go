@@ -37,6 +37,14 @@ type SiteProfile struct {
 	// ChainLength is how many objects the procedure visits in sequence
 	// (the model's m); the migration return is amortized over it.
 	ChainLength float64
+	// WorkCycles is the user-code compute per object visit. The advisor's
+	// own estimates exclude it: every mechanism runs the same user code,
+	// so on a uniform machine it cancels out of the comparison. It exists
+	// for speed-aware selectors (internal/policy), where the same work
+	// costs different amounts depending on which processor executes it —
+	// the storage home under RPC and migration, the requester under
+	// shared memory.
+	WorkCycles float64
 }
 
 // Advisor chooses mechanisms under a fixed machine cost model.

@@ -60,6 +60,10 @@ var simChargedPaths = []string{
 	"compmig/internal/gid",
 	"compmig/internal/object",
 	"compmig/internal/apps/...",
+	// The workload generator's event stream is part of the simulation's
+	// deterministic input: its draws must come from forked sim.PRNG
+	// streams only.
+	"compmig/internal/load",
 }
 
 // hostSidePaths lists the packages declared simulation-inert.

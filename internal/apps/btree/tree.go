@@ -59,9 +59,11 @@ type Tree struct {
 	mPut      core.MethodID
 	mInsertUp core.MethodID
 	mDelete   core.MethodID
+	mScanStep core.MethodID
 	cOp       core.ContID
 	cLookup   core.ContID
 	cDelete   core.ContID
+	cScan     core.ContID
 
 	// Per-call-site policy selectors (nil = static scheme dispatch).
 	polLookup *policy.Site

@@ -24,6 +24,27 @@ func (c Config) parallelEligible() bool {
 	return !c.Scheme.Replication && c.Policy == "" && !c.Faults.Enabled() && c.TraceCap == 0
 }
 
+// ineligibleReason names the first feature that disqualifies this
+// configuration from the sharded engine (caller guarantees
+// parallelEligible() is false).
+func (c Config) ineligibleReason() string {
+	switch c.Scheme.Mechanism {
+	case core.Migrate, core.RPC:
+	default:
+		return "the " + c.Scheme.Mechanism.String() + " scheme moves state between processors through host-side structures"
+	}
+	switch {
+	case c.Scheme.Replication:
+		return "replication keeps read-only copies coherent across processors"
+	case c.Policy != "":
+		return "policy engines keep global mutable state"
+	case c.Faults.Enabled():
+		return "fault plans keep global mutable state"
+	default:
+		return "tracing needs one totally ordered event log"
+	}
+}
+
 // runClustered is RunExperiment on a sharded event-engine cluster. The
 // workload construction mirrors the serial path exactly — same machine
 // shape, same object placement, same requester start delays (drawn from

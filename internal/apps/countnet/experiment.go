@@ -2,6 +2,8 @@ package countnet
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"compmig/internal/core"
 	"compmig/internal/cost"
@@ -9,6 +11,7 @@ import (
 	"compmig/internal/mem"
 	"compmig/internal/network"
 	"compmig/internal/policy"
+	"compmig/internal/profile"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
 )
@@ -116,12 +119,25 @@ type Result struct {
 	InvariantErr string
 }
 
+// FallbackNotice receives the one-line notice RunExperiment emits when a
+// run requested the sharded engine but the configuration requires the
+// serial one. It defaults to stderr; tests may swap it out. Writes
+// happen during host-side setup only, never on a simulated path.
+var FallbackNotice io.Writer = os.Stderr
+
 // RunExperiment builds a fresh machine, runs the workload, and reports
 // windowed throughput and bandwidth.
 func RunExperiment(cfg Config) Result {
 	cfg = cfg.WithDefaults()
-	if cfg.Shards >= 1 && cfg.parallelEligible() {
-		return runClustered(cfg)
+	if cfg.Shards >= 1 {
+		if cfg.parallelEligible() {
+			return runClustered(cfg)
+		}
+		// Fall back loudly: a silently ignored -shards makes serial
+		// wall-clock look like a sharding regression.
+		profile.ShardFallbacks.Add(1)
+		fmt.Fprintf(FallbackNotice, "countnet: shards=%d ignored, running on the serial engine: %s\n",
+			cfg.Shards, cfg.ineligibleReason())
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	var tracer *sim.Tracer

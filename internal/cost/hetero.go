@@ -1,0 +1,150 @@
+package cost
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SpeedDen is the fixed denominator of the per-processor speed ratios a
+// Hetero spec produces: a factor f becomes the integer ratio
+// round(f*SpeedDen)/SpeedDen, so the scaled cycle charges stay exact
+// integer arithmetic (no floats ever reach the event heap).
+const SpeedDen = 100
+
+// Hetero describes per-processor speed heterogeneity: each processor
+// gets a slowdown factor >= 1 applied to every cycle it books (see
+// sim.Proc.SetSpeed). A nil *Hetero, or Kind "uniform", leaves every
+// processor at full speed.
+//
+// Kinds:
+//
+//	uniform              every processor at factor 1
+//	bimodal:FACTOR:FRAC  the first ceil(FRAC*n) processors run FACTOR
+//	                     times slower; the rest at full speed. The slow
+//	                     block is contiguous from processor 0 because
+//	                     the serving apps home their partitions on the
+//	                     low-numbered processors — bimodal models a slow
+//	                     storage tier directly.
+//	gradient:MIN:MAX     factors interpolate linearly from MIN at
+//	                     processor 0 to MAX at processor n-1.
+type Hetero struct {
+	Kind   string  // "uniform", "bimodal", "gradient"
+	Factor float64 // bimodal slowdown factor (>= 1)
+	Frac   float64 // bimodal slow fraction in [0,1]
+	Min    float64 // gradient endpoints (1 <= Min <= Max)
+	Max    float64
+}
+
+// Enabled reports whether the spec can slow any processor at all.
+func (h *Hetero) Enabled() bool {
+	if h == nil {
+		return false
+	}
+	switch h.Kind {
+	case "bimodal":
+		return h.Factor > 1 && h.Frac > 0
+	case "gradient":
+		return h.Max > 1
+	}
+	return false
+}
+
+// String renders the spec in the grammar ParseHetero accepts.
+func (h *Hetero) String() string {
+	if h == nil {
+		return ""
+	}
+	switch h.Kind {
+	case "bimodal":
+		return fmt.Sprintf("bimodal:%s:%s", fmtFloat(h.Factor), fmtFloat(h.Frac))
+	case "gradient":
+		return fmt.Sprintf("gradient:%s:%s", fmtFloat(h.Min), fmtFloat(h.Max))
+	}
+	return "uniform"
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseHetero parses a heterogeneity spec: "uniform",
+// "bimodal:FACTOR:FRAC", or "gradient:MIN:MAX". An empty string parses
+// to a nil spec (uniform machine).
+func ParseHetero(text string) (*Hetero, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return nil, nil
+	}
+	kind, rest, _ := strings.Cut(text, ":")
+	switch kind {
+	case "uniform":
+		if rest != "" {
+			return nil, fmt.Errorf("cost: uniform takes no arguments, got %q", text)
+		}
+		return &Hetero{Kind: "uniform"}, nil
+	case "bimodal":
+		fs, ok := splitFloats(rest, 2)
+		if !ok || fs[0] < 1 || fs[1] < 0 || fs[1] > 1 {
+			return nil, fmt.Errorf("cost: bimodal wants FACTOR:FRAC with FACTOR >= 1 and FRAC in [0,1], got %q", text)
+		}
+		return &Hetero{Kind: "bimodal", Factor: fs[0], Frac: fs[1]}, nil
+	case "gradient":
+		fs, ok := splitFloats(rest, 2)
+		if !ok || fs[0] < 1 || fs[1] < fs[0] {
+			return nil, fmt.Errorf("cost: gradient wants MIN:MAX with 1 <= MIN <= MAX, got %q", text)
+		}
+		return &Hetero{Kind: "gradient", Min: fs[0], Max: fs[1]}, nil
+	default:
+		return nil, fmt.Errorf("cost: unknown heterogeneity kind %q (want uniform, bimodal:FACTOR:FRAC, gradient:MIN:MAX)", kind)
+	}
+}
+
+func splitFloats(s string, n int) ([]float64, bool) {
+	parts := strings.Split(s, ":")
+	if len(parts) != n {
+		return nil, false
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v != v { // reject NaN
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// Factors returns the per-processor speed numerators for an n-processor
+// machine: processor i books cycles scaled by Factors(n)[i]/SpeedDen
+// (ceiling division). A numerator of SpeedDen means full speed. The
+// mapping is a pure function of the spec and n — no randomness — so a
+// heterogeneous run is as deterministic as a uniform one.
+func (h *Hetero) Factors(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = SpeedDen
+	}
+	if !h.Enabled() || n == 0 {
+		return out
+	}
+	switch h.Kind {
+	case "bimodal":
+		slow := int(h.Frac*float64(n) + 0.999999)
+		if slow > n {
+			slow = n
+		}
+		num := uint64(h.Factor*SpeedDen + 0.5)
+		for i := 0; i < slow; i++ {
+			out[i] = num
+		}
+	case "gradient":
+		for i := range out {
+			f := h.Min
+			if n > 1 {
+				f += (h.Max - h.Min) * float64(i) / float64(n-1)
+			}
+			out[i] = uint64(f*SpeedDen + 0.5)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package cost
+
+import "testing"
+
+func TestParseHeteroRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"uniform",
+		"bimodal:4:0.25",
+		"bimodal:2.5:1",
+		"gradient:1:4",
+		"gradient:1.5:1.5",
+	} {
+		h, err := ParseHetero(text)
+		if err != nil {
+			t.Fatalf("ParseHetero(%q): %v", text, err)
+		}
+		if got := h.String(); got != text {
+			t.Fatalf("ParseHetero(%q).String() = %q", text, got)
+		}
+		h2, err := ParseHetero(h.String())
+		if err != nil || h2.String() != h.String() {
+			t.Fatalf("String not a fixed point for %q: %v", text, err)
+		}
+	}
+	if h, err := ParseHetero(""); err != nil || h != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", h, err)
+	}
+}
+
+func TestParseHeteroRejects(t *testing.T) {
+	for _, text := range []string{
+		"bimodal", "bimodal:4", "bimodal:0.5:0.5", "bimodal:4:1.5",
+		"gradient:4:1", "gradient:0.5:2", "gradient:1",
+		"uniform:1", "trimodal:1:2", "bimodal:x:0.5", "bimodal:NaN:0.5",
+	} {
+		if _, err := ParseHetero(text); err == nil {
+			t.Fatalf("ParseHetero(%q) accepted", text)
+		}
+	}
+}
+
+func TestHeteroFactors(t *testing.T) {
+	uniform := &Hetero{Kind: "uniform"}
+	for _, f := range uniform.Factors(4) {
+		if f != SpeedDen {
+			t.Fatalf("uniform factor %d, want %d", f, SpeedDen)
+		}
+	}
+	var nilSpec *Hetero
+	if f := nilSpec.Factors(2); f[0] != SpeedDen || f[1] != SpeedDen {
+		t.Fatalf("nil spec factors = %v", f)
+	}
+
+	bi, _ := ParseHetero("bimodal:4:0.25")
+	got := bi.Factors(8)
+	want := []uint64{400, 400, 100, 100, 100, 100, 100, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bimodal factors = %v, want %v", got, want)
+		}
+	}
+
+	gr, _ := ParseHetero("gradient:1:4")
+	g := gr.Factors(4)
+	wantG := []uint64{100, 200, 300, 400}
+	for i := range wantG {
+		if g[i] != wantG[i] {
+			t.Fatalf("gradient factors = %v, want %v", g, wantG)
+		}
+	}
+	// A single-proc gradient pins to Min.
+	if g := gr.Factors(1); g[0] != 100 {
+		t.Fatalf("1-proc gradient = %v, want [100]", g)
+	}
+}
+
+func TestHeteroEnabled(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"uniform", false},
+		{"bimodal:1:0.5", false},
+		{"bimodal:4:0", false},
+		{"bimodal:4:0.5", true},
+		{"gradient:1:1", false},
+		{"gradient:1:2", true},
+	}
+	for _, c := range cases {
+		h, err := ParseHetero(c.text)
+		if err != nil {
+			t.Fatalf("ParseHetero(%q): %v", c.text, err)
+		}
+		if h.Enabled() != c.want {
+			t.Fatalf("Enabled(%q) = %v, want %v", c.text, h.Enabled(), c.want)
+		}
+	}
+}

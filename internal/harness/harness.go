@@ -25,6 +25,7 @@ import (
 	"compmig/internal/core"
 	"compmig/internal/fault"
 	"compmig/internal/sim"
+	"compmig/internal/stats"
 )
 
 // Options controls experiment scale and execution.
@@ -80,6 +81,11 @@ type Table struct {
 	Note    string
 	Headers []string
 	Rows    [][]string
+	// Latency, when an experiment measures per-request latency (ext-kv),
+	// carries the merged latency distribution across the table's runs so
+	// bench output can report percentiles. The text and Markdown
+	// renderers ignore it.
+	Latency *stats.Histogram
 }
 
 // String renders the table as aligned text.
@@ -196,7 +202,7 @@ func threadCounts(quick bool) []int {
 func ExperimentIDs() []string {
 	return []string{"fig1", "fig2", "fig3", "table1", "table2", "table3",
 		"table4", "table5", "smallnode", "ext-objmig", "ext-policy",
-		"ext-fault", "scale"}
+		"ext-fault", "ext-kv", "scale"}
 }
 
 // plan maps an experiment id to the sweeps it needs plus an optional
@@ -227,6 +233,10 @@ func plan(id string, o Options) ([]experiment, string, error) {
 		return []experiment{policyExp(o), btreePolicyExp(o)}, "", nil
 	case "ext-fault":
 		return []experiment{faultExp(o), btreeFaultExp(o)}, "", nil
+	case "ext-kv":
+		// ext-kv stays out of "all" like ext-fault and scale: "all" is the
+		// pinned byte-identity baseline and must not change shape.
+		return []experiment{kvExp(o)}, "", nil
 	case "scale":
 		return []experiment{scaleExp(o)}, "", nil
 	case "all":
@@ -240,7 +250,7 @@ func plan(id string, o Options) ([]experiment, string, error) {
 			policyExp(o), btreePolicyExp(o),
 		}, "", nil
 	default:
-		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, scale, all)", id)
+		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, ext-kv, scale, all)", id)
 	}
 }
 

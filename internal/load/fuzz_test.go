@@ -1,0 +1,45 @@
+package load
+
+import "testing"
+
+// FuzzParseSpec checks that every accepted workload spec renders back to
+// a canonical string that re-parses to the same spec (String/ParseSpec
+// are a fixed point), and that rejection never panics.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"keys=4096,ops=5000,period=300,zipf=0.99,mix=70:25:5,scan=8",
+		"hot=0.25:100000,burst=4:200000:50000,seed=7",
+		"zipf=0",
+		"zipf=0.5,mix=100:0:0",
+		"mix=0:0:100,scan=65536",
+		"keys=1,ops=1,period=1",
+		"keys=4194304,ops=16777216",
+		"period=1e6",
+		"mix=33:33:34",
+		" keys=10 , ops=20 ",
+		"seed=18446744073709551615",
+		"hot=1:1",
+		"burst=1000000:0:1",
+		"zipf=1",
+		"mix=50:50",
+		"period=0.5",
+		"bogus=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, text, err)
+		}
+		if s2.String() != canon {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", text, canon, s2.String())
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package load
+
+import "testing"
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"keys=4096",
+		"keys=4096,ops=5000,period=300,zipf=0.99,mix=70:25:5,scan=8",
+		"hot=0.25:100000",
+		"burst=4:200000:50000,seed=7",
+		"zipf=0.5,mix=100:0:0",
+		"period=1.5",
+	} {
+		s, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		if got := s.String(); got != text {
+			t.Fatalf("ParseSpec(%q).String() = %q", text, got)
+		}
+	}
+	if s, err := ParseSpec(""); err != nil || s != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", s, err)
+	}
+	if s, err := ParseSpec(" keys=10 , ops=20 "); err != nil || s.String() != "keys=10,ops=20" {
+		t.Fatalf("whitespace tolerance: (%v, %v)", s, err)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, text := range []string{
+		"keys=0", "keys=4194305", "keys=x",
+		"ops=0", "ops=16777217",
+		"period=0", "period=0.5", "period=Inf",
+		"zipf=1", "zipf=-0.1", "zipf=NaN",
+		"mix=50:50", "mix=50:50:50", "mix=101:-1:0", "mix=a:b:c",
+		"scan=0", "scan=65537",
+		"hot=0:100", "hot=1.5:100", "hot=0.5:0", "hot=0.5",
+		"burst=1:0:100", "burst=4:0:0", "burst=4:0", "burst=Inf:0:1",
+		"seed=0", "bogus=1", "keys",
+		"keys=",
+	} {
+		if _, err := ParseSpec(text); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", text)
+		}
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	var s *Spec
+	if s.keys() != DefaultKeys || s.ops() != DefaultOps || s.period() != DefaultPeriod || s.scanLen() != DefaultScanLen {
+		t.Fatal("nil spec does not yield defaults")
+	}
+	r, w, c := s.mixPcts()
+	if r != DefaultReadPct || w != DefaultWritePct || c != 0 {
+		t.Fatalf("nil spec mix = %d:%d:%d", r, w, c)
+	}
+	s2 := &Spec{Keys: 10, ReadPct: 50, WritePct: 30, ScanPct: 20}
+	r, w, c = s2.mixPcts()
+	if r != 50 || w != 30 || c != 20 {
+		t.Fatalf("explicit mix = %d:%d:%d", r, w, c)
+	}
+	if s2.keys() != 10 || s2.ops() != DefaultOps {
+		t.Fatal("partial spec does not merge defaults")
+	}
+}

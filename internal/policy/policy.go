@@ -85,6 +85,10 @@ type Engine struct {
 	shm *mem.System // nil when the run has no shared-memory substrate
 	rng *sim.PRNG   // bandit exploration; seeded from the run seed
 
+	// speeds[p] is processor p's slowdown factor (1 = full speed), set by
+	// SetSpeeds on heterogeneous machines. nil means a uniform machine.
+	speeds []float64
+
 	sites []*Site
 
 	// open[p] is the site of the operation currently running on origin
@@ -206,6 +210,25 @@ func (e *Engine) Mode() Mode { return e.mode }
 // falls back to machine-wide collector counters only.
 func (e *Engine) AttachMem(s *mem.System) { e.shm = s }
 
+// SetSpeeds hands the engine the machine's per-processor slowdown
+// factors (1 = full speed), the same profile the driver applied with
+// sim.Proc.SetSpeed. The cost model then prices each mechanism at the
+// speed of the processor that executes the visit — the target object's
+// home under RPC and migration, the requester under shared memory.
+// Without it every processor is assumed full speed, which leaves the
+// selection on a uniform machine untouched.
+func (e *Engine) SetSpeeds(factors []float64) {
+	e.speeds = append([]float64{}, factors...)
+}
+
+// speedOf returns processor p's slowdown factor (1 when unknown).
+func (e *Engine) speedOf(p int) float64 {
+	if p < 0 || p >= len(e.speeds) || e.speeds[p] <= 1 {
+		return 1
+	}
+	return e.speeds[p]
+}
+
 // NewSite registers one annotated call site. base carries what a
 // compiler would know statically — record sizes and the short-method
 // flag — plus priors for the profiled quantities (run length n, chain
@@ -260,7 +283,7 @@ func (s *Site) Begin(proc int, g gid.GID) core.Mechanism {
 	}
 	e.open[proc] = s
 	e.origin[proc].opHops = 0
-	m := s.decide(g)
+	m := s.decide(proc, g)
 	s.decisions[m]++
 	profileDecision(m)
 	return m
@@ -281,8 +304,9 @@ func (s *Site) End(proc int, m core.Mechanism, cycles uint64) {
 	s.cycleSum[m] += cycles
 }
 
-// decide picks the mechanism for one operation whose first target is g.
-func (s *Site) decide(g gid.GID) core.Mechanism {
+// decide picks the mechanism for one operation starting on processor
+// proc whose first target is g.
+func (s *Site) decide(proc int, g gid.GID) core.Mechanism {
 	e := s.e
 	switch e.mode {
 	case Static:
@@ -290,6 +314,22 @@ func (s *Site) decide(g gid.GID) core.Mechanism {
 	case CostModel:
 		e.sample()
 		rpc, cm, sm := s.Estimates()
+		// Add the user compute back in, priced at the speed of the
+		// processor that executes it: RPC handlers and migrated
+		// continuations run at the target's home, shared-memory accesses
+		// run the user code on the requester. On a uniform machine every
+		// factor is 1 and the work term cancels — the comparison reduces
+		// to the advisor's overhead arithmetic.
+		p := s.Profile()
+		chain := p.ChainLength
+		if chain < 1 {
+			chain = 1
+		}
+		work := p.WorkCycles * chain
+		home, origin := e.speedOf(g.Home()), e.speedOf(proc)
+		rpc = (rpc + work) * home
+		cm = (cm + work) * home
+		sm = (sm + work) * origin
 		best, bestCost := core.RPC, rpc
 		if cm < bestCost {
 			best, bestCost = core.Migrate, cm
@@ -297,7 +337,6 @@ func (s *Site) decide(g gid.GID) core.Mechanism {
 		if sm < bestCost {
 			best = core.SharedMem
 		}
-		_ = g
 		return best
 	default: // Bandit
 		for _, m := range adaptiveMechs {

@@ -81,6 +81,8 @@ var (
 	FaultRetransmits Section // reliability-layer retransmissions
 	FaultTimeouts    Section // retransmission timer firings
 	FaultGiveUps     Section // messages abandoned after the attempt budget
+
+	ShardFallbacks Section // runs that requested shards but fell back to the serial engine
 )
 
 // Stat is one row of a snapshot.
@@ -107,6 +109,7 @@ func Snapshot() []Stat {
 		{"fault.retransmits", FaultRetransmits.Count.Load(), FaultRetransmits.Ns.Load()},
 		{"fault.timeouts", FaultTimeouts.Count.Load(), FaultTimeouts.Ns.Load()},
 		{"fault.giveups", FaultGiveUps.Count.Load(), FaultGiveUps.Ns.Load()},
+		{"shard.fallbacks", ShardFallbacks.Count.Load(), ShardFallbacks.Ns.Load()},
 	}
 }
 

@@ -19,6 +19,13 @@ type Proc struct {
 	// Segments counts work segments executed.
 	Segments uint64
 
+	// speedNum/speedDen, when set, scale every booked work segment by
+	// num/den (ceiling division) — a slow processor takes num/den times
+	// as long to retire the same cycles. Zero den means full speed; the
+	// fields stay zero on homogeneous machines so the scaling costs one
+	// predictable branch.
+	speedNum, speedDen Time
+
 	// downs are scheduled outage windows (fault injection): work segments
 	// booked inside a window start when it closes. Empty on the fault-free
 	// path, so reserve pays one length check.
@@ -100,6 +107,44 @@ func (p *Proc) Spawn(name string, delay Time, body func(*Thread)) *Thread {
 // FreeAt returns the cycle at which the processor next becomes idle.
 func (p *Proc) FreeAt() Time { return p.free }
 
+// SetSpeed gives the processor a heterogeneous speed: every work
+// segment booked on it is stretched by num/den (ceiling division), so
+// num=250, den=100 models a processor 2.5x slower than the baseline.
+// num == den restores full speed. Charged cycle *statistics* are not
+// scaled — the cost model still prices an operation identically
+// everywhere; only the processor's occupancy stretches, which is what
+// per-processor clock speed means.
+func (p *Proc) SetSpeed(num, den Time) {
+	if num == 0 || den == 0 {
+		panic(fmt.Sprintf("sim: p%d speed %d/%d needs positive numerator and denominator", p.id, num, den))
+	}
+	if num < den {
+		panic(fmt.Sprintf("sim: p%d speed %d/%d would be faster than the baseline; express speedups by slowing the others", p.id, num, den))
+	}
+	if num == den {
+		p.speedNum, p.speedDen = 0, 0
+		return
+	}
+	p.speedNum, p.speedDen = num, den
+}
+
+// Speed returns the processor's slowdown ratio (num, den); (1, 1) for a
+// full-speed processor.
+func (p *Proc) Speed() (num, den Time) {
+	if p.speedDen == 0 {
+		return 1, 1
+	}
+	return p.speedNum, p.speedDen
+}
+
+// scale stretches a work segment by the processor's speed ratio.
+func (p *Proc) scale(cycles Time) Time {
+	if p.speedDen == 0 || cycles == 0 {
+		return cycles
+	}
+	return (cycles*p.speedNum + p.speedDen - 1) / p.speedDen
+}
+
 // Utilization returns busy cycles divided by elapsed cycles, in [0,1].
 func (p *Proc) Utilization() float64 {
 	if p.eng.now == 0 {
@@ -109,8 +154,10 @@ func (p *Proc) Utilization() float64 {
 }
 
 // reserve books cycles of exclusive processor time and returns the cycle
-// at which the segment completes.
+// at which the segment completes. The booked duration is stretched by
+// the processor's speed ratio (heterogeneous machines).
 func (p *Proc) reserve(cycles Time) Time {
+	cycles = p.scale(cycles)
 	start := p.free
 	if start < p.eng.now {
 		start = p.eng.now
@@ -150,6 +197,7 @@ func (th *Thread) Exec(p *Proc, cycles Time) {
 // completion cycle. Inline fast paths use it to account occupancy for
 // work they have already decided completes synchronously.
 func (p *Proc) ReserveAt(at, cycles Time) Time {
+	cycles = p.scale(cycles)
 	start := p.free
 	if start < at {
 		start = at
