@@ -2,8 +2,9 @@
 # harness worker pool is real host-side concurrency), the fast-path,
 # policy, and fault A/B identity tests, a short fuzz pass over the wire
 # codec and the fault-plan parser, a quick parallel smoke run of the
-# full evaluation suite, a faulty smoke run with invariant checking, and
-# a benchdiff smoke against the committed baseline report.
+# full evaluation suite, a faulty smoke run with invariant checking, a
+# crash-recovery smoke run (WAL/checkpoint durability under wipe
+# faults), and a benchdiff smoke against the committed baseline report.
 
 GO ?= go
 
@@ -15,10 +16,11 @@ GO ?= go
 BENCH_BASELINE := BENCH_2026-08-06-policy.json
 BENCH_CURRENT  := BENCH_2026-08-06-fault.json
 BENCH_SHARDS   := BENCH_2026-08-08-shards.json
+BENCH_RECOVERY := BENCH_2026-08-08-recovery.json
 
-.PHONY: check lint vet simvet build test race ab-identity shard-identity fuzz-smoke smoke kv-smoke fault-smoke benchdiff-smoke bench-gate bench bench-json
+.PHONY: check lint vet simvet build test race ab-identity shard-identity fuzz-smoke smoke kv-smoke fault-smoke recovery-smoke benchdiff-smoke bench-gate bench bench-json
 
-check: lint build test race ab-identity shard-identity fuzz-smoke smoke kv-smoke fault-smoke benchdiff-smoke
+check: lint build test race ab-identity shard-identity fuzz-smoke smoke kv-smoke fault-smoke recovery-smoke benchdiff-smoke
 	@echo "check: all green"
 
 # lint is go vet plus simvet, the repo's own determinism/purity analyzer
@@ -102,6 +104,20 @@ fault-smoke:
 	$(GO) run ./cmd/btree -scheme rpc -faults 'drop=0.03,dup=0.01,delay=0:40,crash=p5@30000+10000,seed=7' -measure 100000 > /dev/null
 	@echo "fault-smoke: both applications recovered with invariants intact"
 
+# recovery-smoke drives the durability tentpole end to end: the
+# ext-recovery sweep (mechanism x wipe count x checkpoint interval; its
+# renderer panics if any point ran without the WAL or recovered the
+# wrong number of wipes), the harness-level A/B identity and
+# reproducibility contracts, and one CLI wipe run per application — a
+# nonzero exit means an acked write was lost or replay diverged.
+recovery-smoke:
+	$(GO) run ./cmd/paperfigs -exp ext-recovery -quick -workers 4 > /dev/null
+	$(GO) test ./internal/harness/ -run 'TestDurabilityOffIsByteIdentical|TestRecoverySweepReproducible|TestRecoverySweepInvariantsHold' -count=1
+	$(GO) run ./cmd/kv -scheme cm -workload 'keys=128,ops=500,period=300' -faults 'wipe=p2@30000+8000,ckpt=20000,seed=7' > /dev/null
+	$(GO) run ./cmd/countnet -scheme cm -faults 'wipe=p2@60000+8000,ckpt=20000,seed=7' -measure 100000 > /dev/null
+	$(GO) run ./cmd/btree -scheme rpc -faults 'wipe=p5@30000+8000,ckpt=20000,seed=7' -measure 100000 > /dev/null
+	@echo "recovery-smoke: no acked write lost across wipes; recovery traces reproducible"
+
 # benchdiff-smoke exercises the diff tool against the committed reports.
 # No -threshold: recorded wall clocks are from different commits of the
 # simulator, so this gates only on the tool and report format working.
@@ -109,7 +125,8 @@ benchdiff-smoke:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) $(BENCH_CURRENT) > /dev/null
 	$(GO) run ./cmd/benchdiff $(BENCH_SHARDS) $(BENCH_SHARDS)
 	$(GO) run ./cmd/benchdiff $(BENCH_SHARDS) $(BENCH_SHARDS) | grep 'windows=' > /dev/null
-	@echo "benchdiff-smoke: $(BENCH_BASELINE) vs $(BENCH_CURRENT) ok; $(BENCH_SHARDS) shard counters render"
+	$(GO) run ./cmd/benchdiff $(BENCH_RECOVERY) $(BENCH_RECOVERY) | grep 'wal appends=' > /dev/null
+	@echo "benchdiff-smoke: $(BENCH_BASELINE) vs $(BENCH_CURRENT) ok; $(BENCH_SHARDS) shard counters and $(BENCH_RECOVERY) WAL counters render"
 
 # bench-gate regenerates a full-scale report from the working tree and
 # gates it against the committed $(BENCH_CURRENT) with a wall-clock
@@ -138,3 +155,9 @@ bench-json:
 # sweep at shards=1 vs shards=8 with per-shard synchronization counters.
 bench-json-shards:
 	$(GO) run ./cmd/paperfigs -exp scale -shards 8 -bench-json BENCH_new-shards.json
+
+# bench-json-recovery regenerates the durability report: the
+# ext-recovery sweep, whose entries carry the WAL/checkpoint/replay
+# counters benchdiff renders on detail lines.
+bench-json-recovery:
+	$(GO) run ./cmd/paperfigs -exp ext-recovery -bench-json BENCH_new-recovery.json

@@ -16,6 +16,13 @@
 // second line comparing synchronization work: lookahead windows, events
 // processed, null windows (a lane synchronized but had nothing to run),
 // and cross-lane messages.
+//
+// Entries carrying durability counters (runs with the per-processor WAL
+// on — today only ext-recovery) get a detail line comparing logging and
+// replay work: WAL appends, checkpoint bytes, replay events, and
+// simulated recovery cycles. Like the latency percentiles, these are
+// simulation results: a changed count means the simulated behavior
+// changed.
 package main
 
 import (
@@ -38,6 +45,12 @@ type entry struct {
 	ShardEvents  uint64  `json:"shard_events"`
 	ShardNulls   uint64  `json:"shard_nulls"`
 	ShardCross   uint64  `json:"shard_cross"`
+	// Durability counters: zero unless the experiment ran with the
+	// per-processor WAL on.
+	WalAppends      uint64 `json:"wal_appends"`
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
+	ReplayEvents    uint64 `json:"replay_events"`
+	RecoveryCycles  uint64 `json:"recovery_cycles"`
 	// Simulated per-request latency percentiles in cycles (zero when the
 	// experiment does not measure per-request latency). These are
 	// simulation results, not host timings: a changed percentile means
@@ -102,6 +115,7 @@ func main() {
 			fmt.Printf("%-12s %3d %3d  %10s %10.1f %8s  %12d %8s\n",
 				n.Experiment, n.Workers, n.Shards, "-", n.WallMS, "new", n.Allocs, "new")
 			printShardCounters(n)
+			printDurability(entry{}, n)
 			printLatency(entry{}, n)
 			continue
 		}
@@ -112,6 +126,7 @@ func main() {
 		fmt.Printf("%-12s %3d %3d  %10.1f %10.1f %+7.1f%%  %12d %+7.1f%%\n",
 			n.Experiment, n.Workers, n.Shards, o.WallMS, n.WallMS, wallPct, n.Allocs, allocPct)
 		printShardCounters(n)
+		printDurability(o, n)
 		printLatency(o, n)
 		if *threshold > 0 && o.WallMS >= gateFloorMS && wallPct > *threshold {
 			fmt.Fprintf(os.Stderr, "benchdiff: %s workers=%d shards=%d wall clock regressed %.1f%% (limit %.1f%%)\n",
@@ -143,6 +158,23 @@ func printShardCounters(e entry) {
 	}
 	fmt.Printf("%-12s      windows=%d events=%d nulls=%d (%.1f%% of lane-windows) cross=%d\n",
 		"", e.ShardWindows, e.ShardEvents, e.ShardNulls, nullPct, e.ShardCross)
+}
+
+// printDurability renders an entry's WAL/recovery counters on a detail
+// line, flagging any counter that moved against the old report; entries
+// that never switched the store on print nothing.
+func printDurability(o, n entry) {
+	if n.WalAppends == 0 && n.CheckpointBytes == 0 && n.ReplayEvents == 0 && n.RecoveryCycles == 0 {
+		return
+	}
+	changed := ""
+	if o.WalAppends != 0 && (o.WalAppends != n.WalAppends || o.CheckpointBytes != n.CheckpointBytes ||
+		o.ReplayEvents != n.ReplayEvents || o.RecoveryCycles != n.RecoveryCycles) {
+		changed = fmt.Sprintf("  (was appends=%d ckpt-bytes=%d replays=%d rec-cycles=%d — simulated behavior changed)",
+			o.WalAppends, o.CheckpointBytes, o.ReplayEvents, o.RecoveryCycles)
+	}
+	fmt.Printf("%-12s      wal appends=%d ckpt-bytes=%d replays=%d rec-cycles=%d%s\n",
+		"", n.WalAppends, n.CheckpointBytes, n.ReplayEvents, n.RecoveryCycles, changed)
 }
 
 // printLatency renders an entry's simulated latency percentiles on a

@@ -29,7 +29,8 @@ func main() {
 	schemeSpec := flag.String("scheme", "cm", "scheme: rpc|cm|sm|om with +hw/+repl (e.g. cm+repl+hw)")
 	policySpec := flag.String("policy", "", "online mechanism selection: static:<rpc|cm|sm|om>, costmodel, or bandit[:eps]")
 	policyStats := flag.String("policy-stats", "", "write the policy engine's live statistics as JSON to this file (requires -policy)")
-	faultsSpec := flag.String("faults", "", "fault plan, e.g. drop=0.01,dup=0.005,delay=0:40,crash=p3@50000+20000,seed=7 (empty = no faults)")
+	faultsSpec := flag.String("faults", "", "fault plan, e.g. drop=0.01,delay=0:40,crash=p3@50000+20000,wipe=p2@60000+8000,ckpt=20000,seed=7 (empty = no faults)")
+	durable := flag.Bool("durable", false, "force the per-processor WAL/checkpoint store on (wipe= windows switch it on automatically)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	warmup := flag.Uint64("warmup", 20000, "warmup cycles before measuring")
 	measure := flag.Uint64("measure", 200000, "measurement window in cycles")
@@ -76,7 +77,8 @@ func main() {
 		Params: p, InitialKeys: *keys, Threads: *threads, Think: *think,
 		LookupFrac: *lookup, Scheme: scheme, Seed: *seed,
 		Warmup: sim.Time(*warmup), Measure: sim.Time(*measure),
-		TraceCap: *trace, Policy: *policySpec, Faults: faults, Shards: *shards,
+		TraceCap: *trace, Policy: *policySpec, Faults: faults,
+		Durable: *durable, Shards: *shards,
 	})
 	if *policyStats != "" {
 		data, err := json.MarshalIndent(r.PolicyStats, "", "  ")
@@ -116,6 +118,14 @@ func main() {
 			r.Fault.Dropped, r.Fault.Duplicated, r.Fault.CrashDropped, r.Fault.PauseDelayed)
 		fmt.Printf("fault recovery    retransmits:%d timeouts:%d dup-suppressed:%d giveups:%d\n",
 			r.Fault.Retransmits, r.Fault.Timeouts, r.Fault.DupSuppressed, r.Fault.GiveUps)
+	}
+	if r.Recovery != nil {
+		fmt.Printf("durability        appends:%d fsyncs:%d checkpoints:%d ckpt-words:%d\n",
+			r.Recovery.Appends, r.Recovery.Fsyncs, r.Recovery.Checkpoints, r.Recovery.CheckpointWords)
+		fmt.Printf("crash recovery    wipes:%d restores:%d replays:%d rereg:%d cycles:%d\n",
+			r.Recovery.Wipes, r.Recovery.Restores, r.Recovery.Replays, r.Recovery.Reregistered, r.Recovery.RecoveryCycles)
+	}
+	if r.Fault != nil || r.Recovery != nil {
 		if r.InvariantErr != "" {
 			fmt.Fprintln(os.Stderr, "btree: INVARIANT VIOLATED:", r.InvariantErr)
 			os.Exit(1)

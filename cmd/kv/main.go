@@ -41,7 +41,8 @@ func main() {
 	touches := flag.Int("touches", 3, "record accesses per point operation")
 	access := flag.Uint64("access", 40, "user-code cycles per record access")
 	frontWork := flag.Uint64("frontwork", 50, "frontend parse/dispatch cycles per request")
-	faultsSpec := flag.String("faults", "", "fault plan, e.g. drop=0.01,dup=0.005,delay=0:40,seed=7 (empty = no faults)")
+	faultsSpec := flag.String("faults", "", "fault plan, e.g. drop=0.01,delay=0:40,wipe=p2@60000+8000,ckpt=20000,seed=7 (empty = no faults)")
+	durable := flag.Bool("durable", false, "force the per-processor WAL/checkpoint store on (wipe= windows switch it on automatically)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -89,7 +90,8 @@ func main() {
 		StoreProcs: *store, FrontProcs: *front, Touches: *touches,
 		AccessCycles: *access, FrontWork: *frontWork,
 		Scheme: scheme, Policy: *policySpec,
-		Load: spec, Hetero: hetero, Faults: faults, Seed: *seed,
+		Load: spec, Hetero: hetero, Faults: faults,
+		Durable: *durable, Seed: *seed,
 	})
 	if *policyStats != "" {
 		data, err := json.MarshalIndent(r.PolicyStats, "", "  ")
@@ -129,6 +131,12 @@ func main() {
 			r.Fault.Dropped, r.Fault.Duplicated, r.Fault.CrashDropped, r.Fault.PauseDelayed)
 		fmt.Printf("fault recovery    retransmits:%d timeouts:%d dup-suppressed:%d giveups:%d\n",
 			r.Fault.Retransmits, r.Fault.Timeouts, r.Fault.DupSuppressed, r.Fault.GiveUps)
+	}
+	if r.Recovery != nil {
+		fmt.Printf("durability        appends:%d fsyncs:%d checkpoints:%d ckpt-words:%d\n",
+			r.Recovery.Appends, r.Recovery.Fsyncs, r.Recovery.Checkpoints, r.Recovery.CheckpointWords)
+		fmt.Printf("crash recovery    wipes:%d restores:%d replays:%d rereg:%d cycles:%d\n",
+			r.Recovery.Wipes, r.Recovery.Restores, r.Recovery.Replays, r.Recovery.Reregistered, r.Recovery.RecoveryCycles)
 	}
 	if r.InvariantErr != "" {
 		fmt.Fprintln(os.Stderr, "kv: INVARIANT VIOLATED:", r.InvariantErr)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig|ext-policy|ext-fault|ext-kv|scale]
+//	paperfigs [-exp all|fig1|fig2|fig3|table1|table2|table3|table4|table5|smallnode|ext-objmig|ext-policy|ext-fault|ext-kv|ext-recovery|scale]
 //	          [-quick] [-seed N] [-format text|md] [-workers N] [-shards N] [-bench-json out.json]
 //	          [-faults SPEC] [-profile] [-cpuprofile out.pb] [-memprofile out.pb] [-fastpath=false]
 //
@@ -49,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, ext-kv, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, ext-kv, ext-recovery, all")
 	quick := flag.Bool("quick", false, "short measurement windows (smoke run)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	format := flag.String("format", "text", "output format: text or md")
@@ -160,6 +160,14 @@ type benchEntry struct {
 	ShardEvents  uint64 `json:"shard_events"`
 	ShardNulls   uint64 `json:"shard_nulls"`
 	ShardCross   uint64 `json:"shard_cross"`
+	// Durability-store counters (zero unless the experiment ran with the
+	// WAL on — today only ext-recovery does): WAL records appended, bytes
+	// written by checkpoint folds, records replayed during crash
+	// recovery, and simulated cycles spent recovering.
+	WalAppends      uint64 `json:"wal_appends"`
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
+	ReplayEvents    uint64 `json:"replay_events"`
+	RecoveryCycles  uint64 `json:"recovery_cycles"`
 	// Simulated per-request latency percentiles in cycles, merged across
 	// every table the experiment rendered. Zero when the experiment does
 	// not measure per-request latency (only ext-kv does today).
@@ -274,6 +282,7 @@ func measure(id string, o harness.Options) (benchEntry, string, error) {
 		return benchEntry{}, "", err
 	}
 	var fastHits, slowMisses uint64
+	var walAppends, ckptBytes, replays, recCycles uint64
 	for i, s := range pAfter {
 		d := s.Count - pBefore[i].Count
 		switch s.Name {
@@ -281,6 +290,14 @@ func measure(id string, o harness.Options) (benchEntry, string, error) {
 			fastHits += d
 		case "mem.slow":
 			slowMisses += d
+		case "store.wal_appends":
+			walAppends += d
+		case "store.checkpoint_bytes":
+			ckptBytes += d
+		case "store.replay_events":
+			replays += d
+		case "store.recovery_cycles":
+			recCycles += d
 		}
 	}
 	var b strings.Builder
@@ -296,22 +313,26 @@ func measure(id string, o harness.Options) (benchEntry, string, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return benchEntry{
-		Experiment:   id,
-		Workers:      workers,
-		Shards:       o.Shards,
-		WallMS:       float64(wall.Microseconds()) / 1000,
-		Allocs:       after.Mallocs - before.Mallocs,
-		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
-		FastHits:     fastHits,
-		SlowMisses:   slowMisses,
-		ShardWindows: shAfter.Windows - shBefore.Windows,
-		ShardEvents:  sumDelta(shAfter.Events, shBefore.Events),
-		ShardNulls:   sumDelta(shAfter.Nulls, shBefore.Nulls),
-		ShardCross:   sumDelta(shAfter.Cross, shBefore.Cross),
-		LatencyP50:   lat.Quantile(0.50),
-		LatencyP95:   lat.Quantile(0.95),
-		LatencyP99:   lat.Quantile(0.99),
-		Tables:       len(tables),
+		Experiment:      id,
+		Workers:         workers,
+		Shards:          o.Shards,
+		WallMS:          float64(wall.Microseconds()) / 1000,
+		Allocs:          after.Mallocs - before.Mallocs,
+		AllocBytes:      after.TotalAlloc - before.TotalAlloc,
+		FastHits:        fastHits,
+		SlowMisses:      slowMisses,
+		ShardWindows:    shAfter.Windows - shBefore.Windows,
+		ShardEvents:     sumDelta(shAfter.Events, shBefore.Events),
+		ShardNulls:      sumDelta(shAfter.Nulls, shBefore.Nulls),
+		ShardCross:      sumDelta(shAfter.Cross, shBefore.Cross),
+		WalAppends:      walAppends,
+		CheckpointBytes: ckptBytes,
+		ReplayEvents:    replays,
+		RecoveryCycles:  recCycles,
+		LatencyP50:      lat.Quantile(0.50),
+		LatencyP95:      lat.Quantile(0.95),
+		LatencyP99:      lat.Quantile(0.99),
+		Tables:          len(tables),
 	}, b.String(), nil
 }
 

@@ -1,0 +1,64 @@
+package main_test
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDriver compiles paperfigs once into the test's temp dir.
+func buildDriver(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "paperfigs")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building paperfigs: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDriverExitCodes audits the exit-code contract: 0 = experiment ran,
+// 2 = bad flags. The one exit-0 row doubles as the CLI path through the
+// recovery sweep: every point must hold its invariants or the renderer
+// panics the run.
+func TestDriverExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the driver")
+	}
+	bin := buildDriver(t)
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		want []string
+	}{
+		{"recovery sweep", []string{"-exp", "ext-recovery", "-quick"}, 0,
+			[]string{"EXT-RECOVERY", "wipes=2,ckpt=10k", "ok"}},
+		{"unknown experiment", []string{"-exp", "nope"}, 2, []string{"nope"}},
+		{"bad format", []string{"-format", "xml"}, 2, []string{"-format"}},
+		{"bad faults", []string{"-faults", "wipe=oops"}, 2, []string{"paperfigs:"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			code := 0
+			if err != nil {
+				var exitErr *exec.ExitError
+				if !errors.As(err, &exitErr) {
+					t.Fatalf("running driver: %v\n%s", err, out)
+				}
+				code = exitErr.ExitCode()
+			}
+			if code != tc.exit {
+				t.Fatalf("exit %d, want %d\n%s", code, tc.exit, out)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("output missing %q\n%s", w, out)
+				}
+			}
+		})
+	}
+}

@@ -59,6 +59,11 @@ var simChargedPaths = []string{
 	"compmig/internal/fault",
 	"compmig/internal/gid",
 	"compmig/internal/object",
+	"compmig/internal/repl",
+	// The durability store's appends and recovery replays are charged in
+	// simulated cycles on the logging processor, so its control flow is
+	// event-heap ordered like the rest of the runtime.
+	"compmig/internal/store",
 	"compmig/internal/apps/...",
 	// The workload generator's event stream is part of the simulation's
 	// deterministic input: its draws must come from forked sim.PRNG

@@ -14,6 +14,7 @@ import (
 	"compmig/internal/repl"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
+	"compmig/internal/store"
 )
 
 // Config describes one B-tree run (one row of Tables 1-4).
@@ -53,6 +54,16 @@ type Config struct {
 	// Faults, when it enables any fault, attaches a deterministic fault
 	// injector to the network and runs the post-run invariant checker.
 	Faults *fault.Spec
+	// Durable forces the WAL/checkpoint store on. It also switches on
+	// automatically whenever Faults schedules a wipe window — a
+	// loss-inducing crash without durability would trivially violate the
+	// key-set invariant.
+	Durable bool
+	// DropNthAppend / DropNthReplay are negative-test levers: lose the
+	// nth WAL append (an acked write never reaching the log) or skip the
+	// nth replayed record during recovery. The post-run checker must fire.
+	DropNthAppend uint64
+	DropNthReplay uint64
 	// Shards is accepted for interface parity with countnet.Config but
 	// the B-tree always runs on the serial engine: every operation
 	// descends through the shared root (and splits rewrite ancestor
@@ -127,6 +138,9 @@ type Result struct {
 	// post-run integrity checker's verdict ("" = all invariants held).
 	Fault        *fault.Counters
 	InvariantErr string
+	// Recovery holds the durability-store counters of a durable run
+	// (nil when the store was off).
+	Recovery *store.Counters
 }
 
 // RunExperiment builds a fresh machine and tree, runs the mixed
@@ -195,11 +209,33 @@ func RunExperiment(cfg Config) Result {
 	tr.SMPrefetch = cfg.SMPrefetch
 
 	// inserted tracks keys the workload successfully added, for the
-	// post-run key-set integrity check. Allocated only under faults so
-	// the fault-free path stays untouched.
+	// post-run key-set integrity check. Allocated only under faults or
+	// durability so the plain path stays untouched.
 	var inserted map[uint64]struct{}
-	if inj != nil {
+	if inj != nil || cfg.Durable {
 		inserted = make(map[uint64]struct{})
+	}
+
+	// Durability wiring comes after Build so the bulk-loaded tree seeds
+	// the checkpoints for free instead of charging simulated append time
+	// for pre-run population.
+	var st *store.Store
+	if cfg.Durable || cfg.Faults.HasWipe() {
+		st = store.New(mach, col, cost.DefaultDurability(), cfg.Faults.CkptInterval(), rt.Objects.Home)
+		tr.EnableDurability(st)
+		rt.Objects.SetJournal(st)
+		if tbl != nil {
+			tbl.SetJournal(st)
+		}
+		if cfg.DropNthAppend > 0 {
+			st.ScriptDropAppend(cfg.DropNthAppend)
+		}
+		if cfg.DropNthReplay > 0 {
+			st.ScriptDropReplay(cfg.DropNthReplay)
+		}
+		if inj != nil {
+			st.ScheduleRecovery(eng, inj.Windows())
+		}
 	}
 
 	var pol *policy.Engine
@@ -282,6 +318,18 @@ func RunExperiment(cfg Config) Result {
 		inj.FlushProfile()
 		if err := tr.VerifyKeySet(initialKeys, inserted); err != nil {
 			res.InvariantErr = err.Error()
+		}
+	}
+	if st != nil {
+		c := st.Counters
+		res.Recovery = &c
+		st.FlushProfile()
+		if inj == nil && res.InvariantErr == "" {
+			// Durable fault-free runs still verify: the WAL path must not
+			// perturb tree contents.
+			if err := tr.VerifyKeySet(initialKeys, inserted); err != nil {
+				res.InvariantErr = err.Error()
+			}
 		}
 	}
 	return res

@@ -34,6 +34,11 @@ type node struct {
 	// hop is a leaf; splits never change a node's level, so it is stable.
 	kidsAreLeaves bool
 
+	// g is the node's own GID, set at allocation, so code holding only
+	// the state pointer (RPC handler bodies, the durability layer) can
+	// name the node without a reverse lookup.
+	g gid.GID
+
 	lock sim.Mutex // writer lock
 
 	// Shared-memory layout (SM scheme only).

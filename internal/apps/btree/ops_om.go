@@ -90,6 +90,7 @@ func (tr *Tree) insertOM(t *core.Task, key uint64) bool {
 				continue
 			}
 			if len(nd.keys) <= tr.p.Fanout {
+				tr.logNode(t, nd)
 				nd.lock.Unlock(t.Thread())
 				return inserted
 			}
@@ -132,6 +133,9 @@ func (tr *Tree) insertOM(t *core.Task, key uint64) bool {
 		t.Work(searchCycles(len(nd.keys)) + tr.InsertCycles)
 		inserted = nd.leafInsert(key)
 		if len(nd.keys) <= tr.p.Fanout {
+			if inserted {
+				tr.logNode(t, nd)
+			}
 			nd.lock.Unlock(t.Thread())
 			return inserted
 		}

@@ -159,6 +159,7 @@ func (tr *Tree) insertSM(t *core.Task, key uint64) bool {
 				continue
 			}
 			if len(nd.keys) <= tr.p.Fanout {
+				tr.logNode(t, nd)
 				tr.unlockSM(t, nd)
 				return inserted
 			}
@@ -202,6 +203,9 @@ func (tr *Tree) insertSM(t *core.Task, key uint64) bool {
 		tr.shm.Write(th, proc, keyLineAddr(nd, i), 16)
 		inserted = nd.leafInsert(key)
 		if len(nd.keys) <= tr.p.Fanout {
+			if inserted {
+				tr.logNode(t, nd)
+			}
 			tr.unlockSM(t, nd)
 			return inserted
 		}

@@ -1,0 +1,154 @@
+package btree
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"compmig/internal/core"
+	"compmig/internal/fault"
+)
+
+// wipeCfg is a small insert-heavy run with a wipe window over one of
+// the node processors, late enough that most appends precede the wipe
+// (so the negative tests can find a droppable record) but with post-wipe
+// traffic still in the run.
+func wipeCfg(mech core.Mechanism) Config {
+	return Config{
+		Params:      Params{Fanout: 10, NodeProcs: 8, Fill: 0.7},
+		InitialKeys: 200,
+		Threads:     3,
+		LookupFrac:  0.2,
+		KeySpace:    1 << 16,
+		Scheme:      core.Scheme{Mechanism: mech},
+		Warmup:      10000,
+		Measure:     70000,
+		Faults:      &fault.Spec{Windows: []fault.Window{{Proc: 2, Start: 60000, Dur: 6000, Wipe: true}}},
+	}
+}
+
+// TestWipeRecoveryPreservesKeySet is the headline durability check: a
+// loss-inducing crash of a node processor mid-run must not lose a
+// single acked insert or resurrect a deleted one, for every mechanism.
+func TestWipeRecoveryPreservesKeySet(t *testing.T) {
+	for _, mech := range []core.Mechanism{core.Migrate, core.RPC, core.SharedMem, core.ObjMigrate} {
+		res := RunExperiment(wipeCfg(mech))
+		if res.InvariantErr != "" {
+			t.Errorf("%v: %s", mech, res.InvariantErr)
+		}
+		if res.Recovery == nil {
+			t.Fatalf("%v: wipe window did not switch durability on", mech)
+		}
+		if res.Recovery.Wipes != 1 {
+			t.Errorf("%v: %d wipes recovered, want 1", mech, res.Recovery.Wipes)
+		}
+		if res.Recovery.Restores == 0 || res.Recovery.RecoveryCycles == 0 {
+			t.Errorf("%v: recovery did no work: %+v", mech, *res.Recovery)
+		}
+		if res.Recovery.Appends == 0 {
+			t.Errorf("%v: no WAL appends despite insert workload", mech)
+		}
+	}
+}
+
+// TestWipeRecoveryDeterministic re-runs an identical wipe config and
+// requires byte-for-byte identical results and recovery counters — the
+// reproducible-recovery-trace contract.
+func TestWipeRecoveryDeterministic(t *testing.T) {
+	a := RunExperiment(wipeCfg(core.Migrate))
+	b := RunExperiment(wipeCfg(core.Migrate))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("wipe recovery runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestDurableNoWipeVerifies forces the WAL on without any fault: the
+// run must log, never recover, and still pass full key-set
+// verification (the WAL path must not perturb tree contents).
+func TestDurableNoWipeVerifies(t *testing.T) {
+	cfg := wipeCfg(core.RPC)
+	cfg.Faults = nil
+	cfg.Durable = true
+	res := RunExperiment(cfg)
+	if res.InvariantErr != "" {
+		t.Errorf("durable fault-free run failed verification: %s", res.InvariantErr)
+	}
+	if res.Recovery == nil || res.Recovery.Appends == 0 {
+		t.Fatalf("durable run logged nothing")
+	}
+	if res.Recovery.Wipes != 0 {
+		t.Errorf("no wipe scheduled but %d recoveries ran", res.Recovery.Wipes)
+	}
+}
+
+// TestNonWipeCrashStaysNonDurable: a plain crash window (messages lost,
+// state kept) must not switch the durability subsystem on — that is the
+// A/B identity contract's trigger condition.
+func TestNonWipeCrashStaysNonDurable(t *testing.T) {
+	cfg := wipeCfg(core.Migrate)
+	cfg.Faults = &fault.Spec{Windows: []fault.Window{{Proc: 2, Start: 60000, Dur: 6000}}}
+	res := RunExperiment(cfg)
+	if res.Recovery != nil {
+		t.Fatalf("non-wipe crash window switched durability on")
+	}
+	if res.InvariantErr != "" {
+		t.Errorf("crash-window run failed verification: %s", res.InvariantErr)
+	}
+}
+
+// scanCap bounds the negative tests' ordinal search; the wipe sits near
+// the end of the run so a detectable pre-wipe record is close to the
+// last ordinal.
+const scanCap = 60
+
+// TestDropAppendFiresChecker loses one acked insert's WAL record; after
+// the wipe the tree reverts that mutation and VerifyKeySet must report
+// the damage.
+func TestDropAppendFiresChecker(t *testing.T) {
+	cfg := wipeCfg(core.Migrate)
+	clean := RunExperiment(cfg)
+	if clean.InvariantErr != "" {
+		t.Fatalf("clean run already fails: %s", clean.InvariantErr)
+	}
+	// Determinism makes the scan sound: the clean run fixes the append
+	// schedule, so ordinal n names the same record in every run.
+	for n, tried := clean.Recovery.Appends, 0; n >= 1 && tried < scanCap; n, tried = n-1, tried+1 {
+		probe := cfg
+		probe.DropNthAppend = n
+		res := RunExperiment(probe)
+		if res.InvariantErr == "" {
+			continue
+		}
+		if !strings.Contains(res.InvariantErr, "lost") && !strings.Contains(res.InvariantErr, "key") {
+			t.Errorf("unexpected verdict: %s", res.InvariantErr)
+		}
+		if res.Recovery.AppendDropped != 1 {
+			t.Errorf("AppendDropped = %d, want 1", res.Recovery.AppendDropped)
+		}
+		return
+	}
+	t.Fatalf("no dropped append detected within %d ordinals of %d", scanCap, clean.Recovery.Appends)
+}
+
+// TestDropReplayFiresChecker skips one record during recovery replay;
+// the node reverts to an older image and the checker must fire.
+func TestDropReplayFiresChecker(t *testing.T) {
+	cfg := wipeCfg(core.Migrate)
+	clean := RunExperiment(cfg)
+	if clean.InvariantErr != "" {
+		t.Fatalf("clean run already fails: %s", clean.InvariantErr)
+	}
+	for n, tried := clean.Recovery.Replays, 0; n >= 1 && tried < scanCap; n, tried = n-1, tried+1 {
+		probe := cfg
+		probe.DropNthReplay = n
+		res := RunExperiment(probe)
+		if res.InvariantErr == "" {
+			continue
+		}
+		if res.Recovery.ReplayDropped != 1 {
+			t.Errorf("ReplayDropped = %d, want 1", res.Recovery.ReplayDropped)
+		}
+		return
+	}
+	t.Fatalf("no dropped replay detected within %d ordinals of %d", scanCap, clean.Recovery.Replays)
+}

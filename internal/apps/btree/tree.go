@@ -10,6 +10,7 @@ import (
 	"compmig/internal/policy"
 	"compmig/internal/repl"
 	"compmig/internal/sim"
+	"compmig/internal/store"
 )
 
 // Params configures a tree instance.
@@ -37,6 +38,12 @@ type Tree struct {
 	rootLock sim.Mutex
 	height   int
 	nnodes   int
+
+	// wal, when set, receives a full node image on every committed
+	// mutation (see durable.go); nodes lists every allocated node in
+	// creation order so wipe/seed sweeps are deterministic.
+	wal   *store.Store
+	nodes []gid.GID
 
 	// Cost knobs (user-code cycles).
 	LockCycles   uint64
@@ -116,7 +123,10 @@ func (tr *Tree) newNode(nd *node) gid.GID {
 		nd.addrKids = tr.shm.Alloc(home, 8*cap)
 	}
 	tr.nnodes++
-	return tr.rt.Objects.New(home, nd)
+	g := tr.rt.Objects.New(home, nd)
+	nd.g = g
+	tr.nodes = append(tr.nodes, g)
+	return g
 }
 
 // bulkLoad builds the initial tree bottom-up at the configured fill.
@@ -249,6 +259,7 @@ func (tr *Tree) growRoot(t *core.Task, oldRoot gid.GID, info splitInfo, newChild
 		kidsAreLeaves: tr.rt.Objects.State(oldRoot).(*node).leaf,
 	}
 	g := tr.newNode(nr)
+	tr.logNode(t, nr)
 	if tr.repl != nil && tr.repl.IsReplicated(oldRoot) {
 		// Replicate the new root before exposing it so no reader ever
 		// sees an unreplicated root. (Replicate is host-level: no yield.)
@@ -273,6 +284,11 @@ func (tr *Tree) splitLocked(t *core.Task, nd *node) (gid.GID, splitInfo) {
 	g := tr.newNode(r)
 	nd.right = g
 	info.NewNode = g
+	if tr.wal != nil {
+		// Survivor and sibling images land in one append, so a wipe never
+		// observes half a split.
+		tr.wal.Append(t.Thread(), t.Proc(), nodeRecord(nd), nodeRecord(r))
+	}
 	return g, info
 }
 

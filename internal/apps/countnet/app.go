@@ -11,6 +11,7 @@ import (
 	"compmig/internal/mem"
 	"compmig/internal/msg"
 	"compmig/internal/policy"
+	"compmig/internal/store"
 )
 
 // balancer is the private state of one balancer object: a two-by-two
@@ -20,6 +21,7 @@ type balancer struct {
 	toggle bool
 	visits uint64
 	addr   mem.Addr // toggle word, under shared memory
+	g      gid.GID  // set at allocation, so a handler holding only the state pointer can name it
 }
 
 // route passes one token through and returns its output wire. The
@@ -41,6 +43,7 @@ type counter struct {
 	next  uint64
 	width uint64
 	addr  mem.Addr
+	g     gid.GID
 }
 
 func (c *counter) take() uint64 {
@@ -75,6 +78,8 @@ type Network struct {
 	mToggle  core.MethodID
 	mNext    core.MethodID
 	cTravers core.ContID
+
+	wal *store.Store // nil unless durability is enabled
 }
 
 // Build lays a width-wide bitonic counting network out one balancer per
@@ -105,6 +110,7 @@ func Build(rt *core.Runtime, shm *mem.System, scheme core.Scheme, width int) *Ne
 				b.addr = shm.Alloc(proc, 8)
 			}
 			gids[bi] = rt.Objects.New(proc, b)
+			b.g = gids[bi]
 			wireMap[spec.A] = bi
 			wireMap[spec.B] = bi
 			proc++
@@ -126,6 +132,7 @@ func Build(rt *core.Runtime, shm *mem.System, scheme core.Scheme, width int) *Ne
 			c.addr = shm.Alloc(home, 8)
 		}
 		n.counterGID[w] = rt.Objects.New(home, c)
+		c.g = n.counterGID[w]
 	}
 
 	n.registerHandlers()
@@ -156,13 +163,17 @@ func (n *Network) registerHandlers() {
 		func(t *core.Task, self any, _ *msg.Reader, reply *msg.Writer) {
 			b := self.(*balancer)
 			t.Work(n.BalancerWork)
-			reply.PutU32(uint32(b.route()))
+			out := b.route()
+			n.logBalancer(t, b)
+			reply.PutU32(uint32(out))
 		})
 	n.mNext = n.rt.RegisterMethod("countnet.next", true,
 		func(t *core.Task, self any, _ *msg.Reader, reply *msg.Writer) {
 			c := self.(*counter)
 			t.Work(n.CounterWork)
-			reply.PutU64(c.take())
+			v := c.take()
+			n.logCounter(t, c)
+			reply.PutU64(v)
 		})
 	n.cTravers = n.rt.RegisterCont("countnet.traverse",
 		func() core.Continuation { return &traverseCont{net: n} })
@@ -203,6 +214,7 @@ func (c *traverseCont) Run(t *core.Task) {
 		b := t.State(g).(*balancer)
 		t.Work(n.BalancerWork)
 		c.wire = uint32(b.route())
+		n.logBalancer(t, b)
 		c.stage++
 	}
 	// The counter is co-located with the final balancer, so this is local.
@@ -213,7 +225,9 @@ func (c *traverseCont) Run(t *core.Task) {
 	}
 	ctr := t.State(g).(*counter)
 	t.Work(n.CounterWork)
-	t.Return(&valueReply{value: ctr.take()})
+	v := ctr.take()
+	n.logCounter(t, ctr)
+	t.Return(&valueReply{value: v})
 }
 
 // AttachPolicy registers the traversal call site with a policy engine
@@ -286,11 +300,14 @@ func (n *Network) traverseWith(t *core.Task, wire int, mech core.Mechanism) uint
 			n.shm.RMW(th, proc, b.addr)
 			t.Work(n.BalancerWork)
 			w = b.route()
+			n.logBalancer(t, b)
 		}
 		c := n.rt.Objects.State(n.counterGID[w]).(*counter)
 		n.shm.RMW(th, proc, c.addr)
 		t.Work(n.CounterWork)
-		return c.take()
+		v := c.take()
+		n.logCounter(t, c)
+		return v
 	case core.ObjMigrate:
 		// Emerald-style whole-object migration — the comparison the paper
 		// wanted to run (§4). Every balancer is pulled to the requester
@@ -301,11 +318,15 @@ func (n *Network) traverseWith(t *core.Task, wire int, mech core.Mechanism) uint
 			g := n.balGID[s][bi]
 			// Route immediately after the pull, before any yield, so the
 			// access is atomic even if the object is pulled away next.
-			w = uint32(n.pullAndPin(t, g).(*balancer).route())
+			b := n.pullAndPin(t, g).(*balancer)
+			w = uint32(b.route())
+			n.logBalancer(t, b)
 			t.Work(n.BalancerWork)
 		}
 		g := n.counterGID[w]
-		v := n.pullAndPin(t, g).(*counter).take()
+		ctr := n.pullAndPin(t, g).(*counter)
+		v := ctr.take()
+		n.logCounter(t, ctr)
 		t.Work(n.CounterWork)
 		return v
 	default:

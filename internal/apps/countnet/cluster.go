@@ -21,7 +21,8 @@ func (c Config) parallelEligible() bool {
 	default:
 		return false
 	}
-	return !c.Scheme.Replication && c.Policy == "" && !c.Faults.Enabled() && c.TraceCap == 0
+	return !c.Scheme.Replication && c.Policy == "" && !c.Faults.Enabled() &&
+		!c.Durable && !c.Faults.HasWipe() && c.TraceCap == 0
 }
 
 // ineligibleReason names the first feature that disqualifies this
@@ -40,6 +41,8 @@ func (c Config) ineligibleReason() string {
 		return "policy engines keep global mutable state"
 	case c.Faults.Enabled():
 		return "fault plans keep global mutable state"
+	case c.Durable || c.Faults.HasWipe():
+		return "the durability store keeps one machine-wide log sequence"
 	default:
 		return "tracing needs one totally ordered event log"
 	}

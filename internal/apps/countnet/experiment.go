@@ -14,6 +14,7 @@ import (
 	"compmig/internal/profile"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
+	"compmig/internal/store"
 )
 
 // Config describes one counting-network run (one point of Figure 2/3).
@@ -49,6 +50,14 @@ type Config struct {
 	// Faults, when it enables any fault, attaches a deterministic fault
 	// injector to the network and runs the post-run invariant checker.
 	Faults *fault.Spec
+	// Durable forces the WAL/checkpoint store on; it also switches on
+	// automatically whenever Faults schedules a wipe window.
+	Durable bool
+	// DropNthAppend / DropNthReplay are negative-test levers: lose the
+	// nth WAL append or skip the nth replayed record, so the post-run
+	// checker's teeth can be verified.
+	DropNthAppend uint64
+	DropNthReplay uint64
 	// Shards, when >= 1, runs the simulation on that many sharded event
 	// engines synchronized by conservative lookahead (see sim.Cluster).
 	// Output is byte-identical across shard counts, but not to the
@@ -115,7 +124,10 @@ type Result struct {
 	// Fault holds the injected-fault and recovery counters of a faulty
 	// run (nil when no fault plan was active); InvariantErr is the
 	// post-run invariant checker's verdict ("" = all invariants held).
-	Fault        *fault.Counters
+	Fault *fault.Counters
+	// Recovery holds the durability-store counters of a durable run
+	// (nil when the store was off).
+	Recovery     *store.Counters
 	InvariantErr string
 }
 
@@ -185,6 +197,25 @@ func RunExperiment(cfg Config) Result {
 	}
 	defer shm.Release()
 	n := Build(rt, shm, cfg.Scheme, cfg.Width)
+
+	// Durability wiring comes after Build so the built network seeds the
+	// checkpoints for free instead of charging simulated append time for
+	// initial state.
+	var wal *store.Store
+	if cfg.Durable || cfg.Faults.HasWipe() {
+		wal = store.New(mach, col, cost.DefaultDurability(), cfg.Faults.CkptInterval(), rt.Objects.Home)
+		n.EnableDurability(wal)
+		rt.Objects.SetJournal(wal)
+		if cfg.DropNthAppend > 0 {
+			wal.ScriptDropAppend(cfg.DropNthAppend)
+		}
+		if cfg.DropNthReplay > 0 {
+			wal.ScriptDropReplay(cfg.DropNthReplay)
+		}
+		if inj != nil {
+			wal.ScheduleRecovery(eng, inj.Windows())
+		}
+	}
 
 	var pol *policy.Engine
 	if cfg.Policy != "" {
@@ -257,6 +288,13 @@ func RunExperiment(cfg Config) Result {
 		c := inj.Counters
 		res.Fault = &c
 		inj.FlushProfile()
+	}
+	if wal != nil {
+		c := wal.Counters
+		res.Recovery = &c
+		wal.FlushProfile()
+	}
+	if inj != nil || wal != nil {
 		if err := n.CheckInvariants(opsStarted); err != nil {
 			res.InvariantErr = err.Error()
 		}

@@ -1,0 +1,185 @@
+package countnet
+
+import (
+	"reflect"
+	"testing"
+
+	"compmig/internal/core"
+	"compmig/internal/fault"
+)
+
+// recoveryCfg wipes stage-0 balancer processor 2 mid-run: the network's
+// hottest tier loses its toggles and visit counts and must rebuild them
+// from checkpoint + WAL before post-window traffic arrives.
+func recoveryCfg(mech core.Mechanism) Config {
+	return Config{
+		Threads: 8,
+		Scheme:  core.Scheme{Mechanism: mech},
+		Seed:    3,
+		Warmup:  10000,
+		Measure: 80000,
+		Faults:  &fault.Spec{Windows: []fault.Window{{Proc: 2, Start: 60000, Dur: 6000, Wipe: true}}},
+	}
+}
+
+// TestWipeRecoveryKeepsInvariants is the headline counting-network
+// durability check: a loss-inducing crash of a balancer processor must
+// not break token conservation or the step property, for every
+// stay-at-home mechanism.
+func TestWipeRecoveryKeepsInvariants(t *testing.T) {
+	for _, mech := range []core.Mechanism{core.Migrate, core.RPC, core.SharedMem} {
+		res := RunExperiment(recoveryCfg(mech))
+		if res.InvariantErr != "" {
+			t.Errorf("%v: %s", mech, res.InvariantErr)
+		}
+		if res.Recovery == nil {
+			t.Fatalf("%v: wipe window did not switch durability on", mech)
+		}
+		if res.Recovery.Wipes != 1 {
+			t.Errorf("%v: %d wipes recovered, want 1", mech, res.Recovery.Wipes)
+		}
+		if res.Recovery.Restores == 0 || res.Recovery.RecoveryCycles == 0 {
+			t.Errorf("%v: recovery did no work: %+v", mech, *res.Recovery)
+		}
+		if res.Recovery.Appends == 0 {
+			t.Errorf("%v: no WAL appends despite traversal traffic", mech)
+		}
+	}
+}
+
+// TestWipeRecoveryUnderObjectMigration wipes a requester processor —
+// under the Emerald-style scheme the balancers have been pulled there —
+// so recovery must honor the move-out/move-in journal when deciding
+// which log entries still apply.
+func TestWipeRecoveryUnderObjectMigration(t *testing.T) {
+	cfg := recoveryCfg(core.ObjMigrate)
+	numBal := 0
+	for _, st := range Bitonic(8).Stages {
+		numBal += len(st)
+	}
+	cfg.Faults = &fault.Spec{Windows: []fault.Window{{Proc: numBal, Start: 60000, Dur: 6000, Wipe: true}}}
+	res := RunExperiment(cfg)
+	if res.InvariantErr != "" {
+		t.Errorf("objmigrate: %s", res.InvariantErr)
+	}
+	if res.Recovery == nil || res.Recovery.Wipes != 1 {
+		t.Fatalf("objmigrate: wipe not recovered: %+v", res.Recovery)
+	}
+	if res.Recovery.Appends == 0 {
+		t.Error("objmigrate: no WAL appends despite traversal traffic")
+	}
+	if res.ObjectMoves == 0 {
+		t.Error("objmigrate: scheme moved nothing; the move-journal path went untested")
+	}
+}
+
+// TestWipeRecoveryDeterministic re-runs an identical wipe config and
+// requires identical results and recovery counters — the reproducible
+// recovery-trace contract.
+func TestWipeRecoveryDeterministic(t *testing.T) {
+	a := RunExperiment(recoveryCfg(core.Migrate))
+	b := RunExperiment(recoveryCfg(core.Migrate))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("wipe recovery runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestDurableNoWipeVerifies forces the WAL on without any fault: the
+// run must log, never recover, and still pass the invariant checker
+// (the WAL path must not perturb routing).
+func TestDurableNoWipeVerifies(t *testing.T) {
+	cfg := recoveryCfg(core.RPC)
+	cfg.Faults = nil
+	cfg.Durable = true
+	res := RunExperiment(cfg)
+	if res.InvariantErr != "" {
+		t.Errorf("durable fault-free run failed invariants: %s", res.InvariantErr)
+	}
+	if res.Recovery == nil || res.Recovery.Appends == 0 {
+		t.Fatal("durable run logged nothing")
+	}
+	if res.Recovery.Wipes != 0 {
+		t.Errorf("no wipe scheduled but %d recoveries ran", res.Recovery.Wipes)
+	}
+}
+
+// TestNonWipeCrashStaysNonDurable: a plain crash window (messages lost,
+// state kept) must not switch the durability subsystem on — the A/B
+// identity contract's trigger condition.
+func TestNonWipeCrashStaysNonDurable(t *testing.T) {
+	cfg := recoveryCfg(core.Migrate)
+	cfg.Faults = &fault.Spec{Windows: []fault.Window{{Proc: 2, Start: 60000, Dur: 6000}}}
+	res := RunExperiment(cfg)
+	if res.Recovery != nil {
+		t.Fatal("non-wipe crash window switched durability on")
+	}
+	if res.InvariantErr != "" {
+		t.Errorf("crash-window run failed invariants: %s", res.InvariantErr)
+	}
+}
+
+// lateWipeCfg puts the wipe just before the request cutoff so nearly
+// every append precedes it; the negative tests scan backward from the
+// last ordinal for a record whose loss is observable. Countnet traffic
+// is dense (several records per traversal), so the scan cap is larger
+// than the sparser kv/btree ones.
+func lateWipeCfg() Config {
+	cfg := recoveryCfg(core.RPC)
+	cfg.Faults = &fault.Spec{Windows: []fault.Window{{Proc: 2, Start: 89000, Dur: 5000, Wipe: true}}}
+	return cfg
+}
+
+const scanCap = 250
+
+// TestDropAppendFiresChecker loses one routing decision's WAL record:
+// after the wipe that balancer reverts a toggle and a visit, and token
+// conservation or the step property must fail.
+func TestDropAppendFiresChecker(t *testing.T) {
+	cfg := lateWipeCfg()
+	clean := RunExperiment(cfg)
+	if clean.InvariantErr != "" {
+		t.Fatalf("clean run already fails: %s", clean.InvariantErr)
+	}
+	// Determinism makes the scan sound: the clean run fixes the append
+	// schedule, so ordinal n names the same record in every run.
+	for n, tried := clean.Recovery.Appends, 0; n >= 1 && tried < scanCap; n, tried = n-1, tried+1 {
+		probe := cfg
+		probe.DropNthAppend = n
+		res := RunExperiment(probe)
+		if res.InvariantErr == "" {
+			continue
+		}
+		if res.Recovery.AppendDropped != 1 {
+			t.Errorf("AppendDropped = %d, want 1", res.Recovery.AppendDropped)
+		}
+		return
+	}
+	t.Fatalf("no dropped append detected within %d ordinals of %d", scanCap, clean.Recovery.Appends)
+}
+
+// TestDropReplayFiresChecker skips one record during recovery replay;
+// the balancer or counter reverts to an older image and the checker
+// must fire.
+func TestDropReplayFiresChecker(t *testing.T) {
+	cfg := lateWipeCfg()
+	clean := RunExperiment(cfg)
+	if clean.InvariantErr != "" {
+		t.Fatalf("clean run already fails: %s", clean.InvariantErr)
+	}
+	if clean.Recovery.Replays == 0 {
+		t.Fatal("clean run replayed nothing: wipe/checkpoint timing leaves no suffix to drop")
+	}
+	for n, tried := clean.Recovery.Replays, 0; n >= 1 && tried < scanCap; n, tried = n-1, tried+1 {
+		probe := cfg
+		probe.DropNthReplay = n
+		res := RunExperiment(probe)
+		if res.InvariantErr == "" {
+			continue
+		}
+		if res.Recovery.ReplayDropped != 1 {
+			t.Errorf("ReplayDropped = %d, want 1", res.Recovery.ReplayDropped)
+		}
+		return
+	}
+	t.Fatalf("no dropped replay detected within %d ordinals of %d", scanCap, clean.Recovery.Replays)
+}

@@ -21,6 +21,7 @@ import (
 	"compmig/internal/mem"
 	"compmig/internal/msg"
 	"compmig/internal/policy"
+	"compmig/internal/store"
 )
 
 // Params configures a store instance.
@@ -52,9 +53,15 @@ type Store struct {
 	scheme core.Scheme
 	p      Params
 
-	parts []gid.GID // partition objects, parts[i] homed on processor i
-	keys  []uint64  // keyID -> indexed key value (sorted unique)
-	index *btree.Tree
+	parts  []gid.GID // partition objects, parts[i] homed on processor i
+	states []*partState
+	byGID  map[gid.GID]*partState
+	keys   []uint64 // keyID -> indexed key value (sorted unique)
+	index  *btree.Tree
+
+	// wal, when set, receives a version record on every acked put and
+	// node images from the index (see durable.go).
+	wal *store.Store
 
 	// AccessCycles is the user-code cost of one record access.
 	AccessCycles uint64
@@ -94,10 +101,13 @@ func Build(rt *core.Runtime, shm *mem.System, scheme core.Scheme, p Params, keys
 	// skewed key popularity still spreads across partitions.
 	s.parts = make([]gid.GID, p.StoreProcs)
 	states := make([]*partState, p.StoreProcs)
+	s.byGID = make(map[gid.GID]*partState, p.StoreProcs)
 	for i := range s.parts {
 		states[i] = &partState{vals: make(map[uint64]uint64), slot: make(map[uint64]int)}
 		s.parts[i] = rt.Objects.New(i, states[i])
+		s.byGID[s.parts[i]] = states[i]
 	}
+	s.states = states
 	for id := range s.keys {
 		ps := states[s.partOf(uint64(id))]
 		ps.slot[uint64(id)] = len(ps.slot)
@@ -179,6 +189,7 @@ func (s *Store) register() {
 			key := args.U64()
 			t.Work(s.AccessCycles)
 			ps.vals[key]++
+			s.logPut(t, key, ps.vals[key])
 			reply.PutU64(ps.vals[key])
 		})
 	s.cOp = s.rt.RegisterCont("kv.op",
@@ -283,6 +294,7 @@ func (s *Store) putWith(t *core.Task, id uint64, mech core.Mechanism) uint64 {
 		s.shm.RMW(th, proc, base)
 		ps.vals[id]++
 		v := ps.vals[id]
+		s.logPut(t, id, v)
 		for i := 1; i < s.p.Touches; i++ {
 			s.shm.Write(th, proc, base+mem.Addr(i*mem.LineBytes), 8)
 		}
@@ -328,6 +340,7 @@ func (c *kvCont) Run(t *core.Task) {
 	t.Work(s.AccessCycles * uint64(s.p.Touches))
 	if c.put {
 		ps.vals[c.key]++
+		s.logPut(t, c.key, ps.vals[c.key])
 	}
 	t.Return(&valueReply{value: ps.vals[c.key]})
 }

@@ -13,6 +13,7 @@ import (
 	"compmig/internal/policy"
 	"compmig/internal/sim"
 	"compmig/internal/stats"
+	"compmig/internal/store"
 )
 
 // Config describes one open-loop KV run.
@@ -47,7 +48,15 @@ type Config struct {
 	Hetero *cost.Hetero
 	// Faults attaches a deterministic fault injector (nil = none).
 	Faults *fault.Spec
-	Seed   uint64
+	// Durable forces the WAL/checkpoint store on; it also switches on
+	// automatically whenever Faults schedules a wipe window.
+	Durable bool
+	// DropNthAppend / DropNthReplay are negative-test levers: lose the
+	// nth WAL append or skip the nth replayed record, so the post-run
+	// checker's teeth can be verified.
+	DropNthAppend uint64
+	DropNthReplay uint64
+	Seed          uint64
 }
 
 // WithDefaults fills unset fields.
@@ -100,6 +109,9 @@ type Result struct {
 	PolicyStats *policy.Stats
 
 	Fault *fault.Counters
+	// Recovery holds the durability-store counters of a durable run
+	// (nil when the store was off).
+	Recovery *store.Counters
 	// InvariantErr is the post-run checker's verdict ("" = every
 	// invariant held: no lost updates, reads monotone per key).
 	InvariantErr string
@@ -147,6 +159,25 @@ func RunExperiment(cfg Config) Result {
 		population)
 	if cfg.AccessCycles != 0 {
 		st.AccessCycles = cfg.AccessCycles
+	}
+
+	// Durability wiring comes after Build so the loaded index seeds the
+	// checkpoints for free instead of charging simulated append time for
+	// pre-run population.
+	var wal *store.Store
+	if cfg.Durable || cfg.Faults.HasWipe() {
+		wal = store.New(mach, col, cost.DefaultDurability(), cfg.Faults.CkptInterval(), rt.Objects.Home)
+		st.EnableDurability(wal)
+		rt.Objects.SetJournal(wal)
+		if cfg.DropNthAppend > 0 {
+			wal.ScriptDropAppend(cfg.DropNthAppend)
+		}
+		if cfg.DropNthReplay > 0 {
+			wal.ScriptDropReplay(cfg.DropNthReplay)
+		}
+		if inj != nil {
+			wal.ScheduleRecovery(eng, inj.Windows())
+		}
 	}
 
 	var pol *policy.Engine
@@ -240,6 +271,11 @@ func RunExperiment(cfg Config) Result {
 		c := inj.Counters
 		res.Fault = &c
 		inj.FlushProfile()
+	}
+	if wal != nil {
+		c := wal.Counters
+		res.Recovery = &c
+		wal.FlushProfile()
 	}
 	res.InvariantErr = checkInvariants(st, issued, acked, monotonic, inj != nil)
 	return res

@@ -1,0 +1,140 @@
+package kv
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"compmig/internal/core"
+)
+
+// wipeCfg crashes storage processor 2 mid-run with enough puts before
+// and after the window to make lost updates observable.
+func wipeCfg(t *testing.T, mech core.Mechanism) Config {
+	return Config{
+		Scheme: core.Scheme{Mechanism: mech},
+		Load:   mustSpec(t, "keys=128,ops=400,period=500,zipf=0.9,mix=40:55:5,scan=8"),
+		Faults: mustFault(t, "wipe=p2@60000+8000"),
+		Seed:   9,
+	}
+}
+
+// TestWipeRecoveryKeepsAckedWrites is the headline serving-system
+// durability check: no acked write may be lost across a wipe, for every
+// supported mechanism.
+func TestWipeRecoveryKeepsAckedWrites(t *testing.T) {
+	for _, mech := range []core.Mechanism{core.RPC, core.Migrate, core.SharedMem} {
+		res := RunExperiment(wipeCfg(t, mech))
+		if res.InvariantErr != "" {
+			t.Errorf("%v: %s", mech, res.InvariantErr)
+		}
+		if res.Recovery == nil {
+			t.Fatalf("%v: wipe window did not switch durability on", mech)
+		}
+		if res.Recovery.Wipes != 1 {
+			t.Errorf("%v: %d wipes recovered, want 1", mech, res.Recovery.Wipes)
+		}
+		if res.Recovery.Appends == 0 || res.Recovery.RecoveryCycles == 0 {
+			t.Errorf("%v: durability did no work: %+v", mech, *res.Recovery)
+		}
+	}
+}
+
+// TestWipeRecoveryDeterministic pins the reproducible-recovery-trace
+// contract: identical configs produce identical results and counters.
+func TestWipeRecoveryDeterministic(t *testing.T) {
+	a := RunExperiment(wipeCfg(t, core.RPC))
+	b := RunExperiment(wipeCfg(t, core.RPC))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("wipe recovery runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestDurableFaultFreeVerifies forces the WAL on with no faults: the
+// run must log every put, recover nothing, and keep all invariants.
+func TestDurableFaultFreeVerifies(t *testing.T) {
+	cfg := wipeCfg(t, core.Migrate)
+	cfg.Faults = nil
+	cfg.Durable = true
+	res := RunExperiment(cfg)
+	if res.InvariantErr != "" {
+		t.Errorf("durable fault-free run: %s", res.InvariantErr)
+	}
+	if res.Recovery == nil || res.Recovery.Appends == 0 {
+		t.Fatal("durable run logged nothing")
+	}
+	if res.Recovery.Appends < res.Puts {
+		t.Errorf("%d appends for %d puts: some acked writes unlogged", res.Recovery.Appends, res.Puts)
+	}
+	if res.Recovery.Wipes != 0 {
+		t.Errorf("no wipe scheduled but %d recoveries ran", res.Recovery.Wipes)
+	}
+}
+
+// lateWipeCfg crashes storage processor 2 near the end of the
+// workload, so nearly every append precedes the wipe and the negative
+// tests can find a droppable ordinal near the end of the schedule.
+func lateWipeCfg(t *testing.T) Config {
+	return Config{
+		Scheme: core.Scheme{Mechanism: core.RPC},
+		Load:   mustSpec(t, "keys=128,ops=400,period=500,zipf=0.9,mix=30:65:5,scan=8"),
+		Faults: mustFault(t, "wipe=p2@190000+6000"),
+		Seed:   9,
+	}
+}
+
+// TestDropAppendLosesAckedWrite loses one put's WAL record: after the
+// wipe, that version is gone and the lost-update checker must fire.
+func TestDropAppendLosesAckedWrite(t *testing.T) {
+	cfg := lateWipeCfg(t)
+	clean := RunExperiment(cfg)
+	if clean.InvariantErr != "" {
+		t.Fatalf("clean run already fails: %s", clean.InvariantErr)
+	}
+	// Determinism fixes the append schedule, so ordinal n names the same
+	// record in every run; scan near the wipe for one whose loss shows.
+	const scanCap = 80
+	for n, tried := clean.Recovery.Appends, 0; n >= 1 && tried < scanCap; n, tried = n-1, tried+1 {
+		probe := cfg
+		probe.DropNthAppend = n
+		res := RunExperiment(probe)
+		if res.InvariantErr == "" {
+			continue
+		}
+		if !strings.Contains(res.InvariantErr, "lost update") {
+			t.Errorf("unexpected verdict: %s", res.InvariantErr)
+		}
+		if res.Recovery.AppendDropped != 1 {
+			t.Errorf("AppendDropped = %d, want 1", res.Recovery.AppendDropped)
+		}
+		return
+	}
+	t.Fatalf("no dropped append detected within %d ordinals of %d", scanCap, clean.Recovery.Appends)
+}
+
+// TestDropReplaySkipsRecord skips one record during recovery replay;
+// the store reverts that key and the checker must fire.
+func TestDropReplaySkipsRecord(t *testing.T) {
+	cfg := lateWipeCfg(t)
+	clean := RunExperiment(cfg)
+	if clean.InvariantErr != "" {
+		t.Fatalf("clean run already fails: %s", clean.InvariantErr)
+	}
+	if clean.Recovery.Replays == 0 {
+		t.Fatal("clean run replayed nothing: wipe/checkpoint timing leaves no suffix to drop")
+	}
+	const scanCap = 80
+	for n, tried := clean.Recovery.Replays, 0; n >= 1 && tried < scanCap; n, tried = n-1, tried+1 {
+		probe := cfg
+		probe.DropNthReplay = n
+		res := RunExperiment(probe)
+		if res.InvariantErr == "" {
+			continue
+		}
+		if res.Recovery.ReplayDropped != 1 {
+			t.Errorf("ReplayDropped = %d, want 1", res.Recovery.ReplayDropped)
+		}
+		return
+	}
+	t.Fatalf("no dropped replay detected within %d ordinals of %d", scanCap, clean.Recovery.Replays)
+}

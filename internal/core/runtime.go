@@ -363,6 +363,20 @@ func unpackLinkage(w uint32) (proc int, id uint32) {
 	return int(w >> 20), w & (1<<20 - 1)
 }
 
+// WipeVolatile discards processor proc's volatile runtime state when a
+// loss-inducing crash (a wipe fault window) hits it: the location-hint
+// cache is cleared — hints are rediscovered through forwarding, exactly
+// as after a cold start. Reply slots and residuals are origin-side
+// state and live on the processors that issued the requests; requests
+// the wiped processor owed answers to resolve through the reliability
+// layer's retransmission and give-up machinery. It returns the number
+// of live objects currently homed on proc, which recovery must
+// re-register from the durable log.
+func (rt *Runtime) WipeVolatile(proc int) int {
+	rt.locHints[proc] = nil
+	return rt.Objects.HomedAt(proc)
+}
+
 // chargeSend accounts the client-stub send path for a payload of words
 // 32-bit words and returns its total cycle cost.
 func (rt *Runtime) chargeSend(words uint64) uint64 {

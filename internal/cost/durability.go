@@ -1,0 +1,75 @@
+// Durability prices the simulated persistence substrate: per-processor
+// write-ahead log appends, group-commit fsync barriers, periodic
+// checkpoints, and crash recovery (checkpoint restore plus WAL-suffix
+// replay). The numbers are chosen on the same scale as the Table-5
+// messaging costs — an append costs about as much as marshaling the
+// record, an fsync barrier costs a few message round trips (a battery-
+// backed log device, not a spinning disk), and replay re-applies records
+// at memory speed — so durability overhead and messaging overhead stay
+// comparable in the figures.
+package cost
+
+// Durability is the cycle-price table for the WAL/checkpoint store.
+type Durability struct {
+	// AppendBase/AppendPerWord price one log record append into the
+	// processor's volatile log tail.
+	AppendBase    uint64
+	AppendPerWord uint64
+	// Fsync is the group-commit barrier forced every GroupOps appends: the
+	// log tail reaches the durable device and acknowledged writes become
+	// crash-proof.
+	Fsync uint64
+	// GroupOps is the group-commit size; every GroupOps-th append on a
+	// processor pays Fsync. Minimum 1 (fsync on every append).
+	GroupOps uint64
+	// CkptBase/CkptPerWord price writing one checkpoint: the live folded
+	// state of the processor's log, after which the WAL suffix is truncated.
+	CkptBase    uint64
+	CkptPerWord uint64
+	// RestorePerWord prices reading the checkpoint back during recovery.
+	RestorePerWord uint64
+	// ReplayBase/ReplayPerWord price re-applying one WAL-suffix record
+	// during recovery.
+	ReplayBase    uint64
+	ReplayPerWord uint64
+	// Reregister prices re-registering one recovered object with the
+	// runtime (GID table entry, directory residence).
+	Reregister uint64
+}
+
+// DefaultCkptInterval is the checkpoint period in cycles when the fault
+// spec leaves ckpt unset.
+const DefaultCkptInterval = 50000
+
+// DefaultDurability returns the standard price table.
+func DefaultDurability() Durability {
+	return Durability{
+		AppendBase:     40,
+		AppendPerWord:  2,
+		Fsync:          800,
+		GroupOps:       8,
+		CkptBase:       200,
+		CkptPerWord:    2,
+		RestorePerWord: 2,
+		ReplayBase:     30,
+		ReplayPerWord:  3,
+		Reregister:     36, // one GID-translation-table install
+	}
+}
+
+// Append returns the cycles to append one n-word record.
+func (d Durability) Append(n uint64) uint64 { return d.AppendBase + d.AppendPerWord*n }
+
+// Checkpoint returns the cycles to write an n-word checkpoint image.
+func (d Durability) Checkpoint(n uint64) uint64 { return d.CkptBase + d.CkptPerWord*n }
+
+// Replay returns the cycles to re-apply one n-word record.
+func (d Durability) Replay(n uint64) uint64 { return d.ReplayBase + d.ReplayPerWord*n }
+
+// GroupSize returns the group-commit size, treating zero as 1.
+func (d Durability) GroupSize() uint64 {
+	if d.GroupOps == 0 {
+		return 1
+	}
+	return d.GroupOps
+}

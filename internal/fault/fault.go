@@ -42,12 +42,17 @@ const (
 // message delivered to the processor inside it (senders recover by
 // retransmitting past the window); a pause window holds deliveries and
 // releases them when the window closes. Both kinds also stall work
-// segments booked on the processor (see sim.Proc down windows).
+// segments booked on the processor (see sim.Proc down windows). A wipe
+// window is a crash that additionally discards the processor's volatile
+// state at the window start — location-hint caches, in-flight
+// activations, and any object state not yet persisted — forcing the
+// durable store (internal/store) to rebuild it from checkpoint + WAL.
 type Window struct {
 	Proc  int
 	Start uint64
 	Dur   uint64
 	Pause bool // false = crash-restart, true = pause
+	Wipe  bool // crash that loses volatile state (implies !Pause)
 }
 
 // End returns the first cycle after the outage.
@@ -69,12 +74,42 @@ type Spec struct {
 	RTO         uint64
 	RTOMax      uint64
 	MaxAttempts int
+
+	// Ckpt is the durable store's checkpoint interval in cycles; zero
+	// means cost.DefaultCkptInterval. It only matters when the run is
+	// durable (a wipe window is present or the app forces -durable); a
+	// ckpt-only spec injects nothing and leaves Enabled() false.
+	Ckpt uint64
+}
+
+// HasWipe reports whether any window is a loss-inducing wipe. Apps use
+// it to auto-enable the durable store: a wipe without a WAL would lose
+// acknowledged state.
+func (s *Spec) HasWipe() bool {
+	if s == nil {
+		return false
+	}
+	for _, w := range s.Windows {
+		if w.Wipe {
+			return true
+		}
+	}
+	return false
 }
 
 // Enabled reports whether the plan can inject any fault at all. A
 // disabled plan must not be attached to a network: the reliability
 // framing itself (sequence words, acks) changes wire charges, so the
 // byte-identity contract for fault-free runs is "no injector attached".
+// CkptInterval returns the checkpoint interval the spec requests, in
+// cycles. Zero (including a nil spec) means the store's default.
+func (s *Spec) CkptInterval() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Ckpt
+}
+
 func (s *Spec) Enabled() bool {
 	if s == nil {
 		return false
@@ -129,8 +164,11 @@ func (s *Spec) String() string {
 	}
 	for _, w := range s.Windows {
 		kind := "crash"
-		if w.Pause {
+		switch {
+		case w.Pause:
 			kind = "pause"
+		case w.Wipe:
+			kind = "wipe"
 		}
 		parts = append(parts, fmt.Sprintf("%s=p%d@%d+%d", kind, w.Proc, w.Start, w.Dur))
 	}
@@ -146,6 +184,9 @@ func (s *Spec) String() string {
 	if s.MaxAttempts != 0 {
 		parts = append(parts, fmt.Sprintf("retries=%d", s.MaxAttempts))
 	}
+	if s.Ckpt != 0 {
+		parts = append(parts, fmt.Sprintf("ckpt=%d", s.Ckpt))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -154,9 +195,11 @@ func (s *Spec) String() string {
 //	drop=0.01,dup=0.005,delay=0:40,crash=p3@50000+20000,seed=7
 //
 // Keys: drop/dup/reorder (probabilities in [0,1]), delay=MIN:MAX
-// (uniform jitter in cycles), crash=pN@START+DUR and pause=pN@START+DUR
-// (repeatable outage windows), seed, rto, rtomax, retries. An empty
-// string parses to a nil spec (no faults).
+// (uniform jitter in cycles), crash=pN@START+DUR, pause=pN@START+DUR
+// and wipe=pN@START+DUR (repeatable outage windows; wipe is a crash
+// that loses the processor's volatile state), seed, rto, rtomax,
+// retries, ckpt=N (durable-store checkpoint interval in cycles). An
+// empty string parses to a nil spec (no faults).
 func ParseSpec(text string) (*Spec, error) {
 	text = strings.TrimSpace(text)
 	if text == "" {
@@ -197,14 +240,15 @@ func ParseSpec(text string) (*Spec, error) {
 				return nil, fmt.Errorf("fault: delay wants MIN:MAX with MIN <= MAX, got %q", val)
 			}
 			s.DelayMin, s.DelayMax = min, max
-		case "crash", "pause":
+		case "crash", "pause", "wipe":
 			w, err := parseWindow(val)
 			if err != nil {
 				return nil, err
 			}
 			w.Pause = key == "pause"
+			w.Wipe = key == "wipe"
 			s.Windows = append(s.Windows, w)
-		case "seed", "rto", "rtomax":
+		case "seed", "rto", "rtomax", "ckpt":
 			n, err := strconv.ParseUint(val, 10, 64)
 			if err != nil || (key != "seed" && n == 0) {
 				return nil, fmt.Errorf("fault: %s wants a positive integer, got %q", key, val)
@@ -216,6 +260,8 @@ func ParseSpec(text string) (*Spec, error) {
 				s.RTO = n
 			case "rtomax":
 				s.RTOMax = n
+			case "ckpt":
+				s.Ckpt = n
 			}
 		case "retries":
 			n, err := strconv.Atoi(val)
@@ -224,7 +270,7 @@ func ParseSpec(text string) (*Spec, error) {
 			}
 			s.MaxAttempts = n
 		default:
-			return nil, fmt.Errorf("fault: unknown key %q (want drop, dup, reorder, delay, crash, pause, seed, rto, rtomax, retries)", key)
+			return nil, fmt.Errorf("fault: unknown key %q (want drop, dup, reorder, delay, crash, pause, wipe, seed, rto, rtomax, retries, ckpt)", key)
 		}
 	}
 	if s.RTOMax != 0 && s.RTOMax < s.rto() {

@@ -16,7 +16,7 @@ func TestParseSpecEmpty(t *testing.T) {
 }
 
 func TestParseSpecFull(t *testing.T) {
-	s, err := ParseSpec("drop=0.01,dup=0.005,reorder=0.1,delay=0:40,crash=p3@50000+20000,pause=p1@100+50,seed=7,rto=2000,rtomax=16000,retries=5")
+	s, err := ParseSpec("drop=0.01,dup=0.005,reorder=0.1,delay=0:40,crash=p3@50000+20000,pause=p1@100+50,wipe=p2@30000+10000,seed=7,rto=2000,rtomax=16000,retries=5,ckpt=25000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,8 +26,10 @@ func TestParseSpecFull(t *testing.T) {
 		Windows: []Window{
 			{Proc: 3, Start: 50000, Dur: 20000},
 			{Proc: 1, Start: 100, Dur: 50, Pause: true},
+			{Proc: 2, Start: 30000, Dur: 10000, Wipe: true},
 		},
 		Seed: 7, RTO: 2000, RTOMax: 16000, MaxAttempts: 5,
+		Ckpt: 25000,
 	}
 	if !reflect.DeepEqual(s, want) {
 		t.Errorf("parsed %+v, want %+v", s, want)
@@ -50,6 +52,10 @@ func TestParseSpecErrors(t *testing.T) {
 		{"crash=p3@0", "pN@START+DUR"},
 		{"crash=p3@0+0", "pN@START+DUR"}, // zero-length outage
 		{"pause=p-1@0+10", "pN@START+DUR"},
+		{"wipe=p3@0+0", "pN@START+DUR"}, // zero-length wipe
+		{"wipe=3@0+10", "pN@START+DUR"},
+		{"ckpt=0", "positive integer"},
+		{"ckpt=x", "positive integer"},
 		{"seed=x", "positive integer"},
 		{"rto=0", "positive integer"},
 		{"rtomax=0", "positive integer"},
@@ -78,6 +84,8 @@ func TestSpecStringRoundTrip(t *testing.T) {
 		{Drop: 0.01, Dup: 0.005, DelayMax: 40, Seed: 7},
 		{Reorder: 0.25, DelayMin: 5, DelayMax: 30},
 		{Windows: []Window{{Proc: 3, Start: 50000, Dur: 20000}, {Proc: 0, Start: 0, Dur: 1, Pause: true}}},
+		{Windows: []Window{{Proc: 2, Start: 30000, Dur: 10000, Wipe: true}}, Ckpt: 25000},
+		{Ckpt: 4000},
 		{Drop: 1, RTO: 50, RTOMax: 100, MaxAttempts: 3},
 	}
 	for _, s := range specs {
@@ -100,13 +108,36 @@ func TestSpecEnabled(t *testing.T) {
 	if (&Spec{}).Enabled() || (&Spec{Seed: 7, RTO: 100}).Enabled() {
 		t.Error("spec with no fault knobs enabled")
 	}
+	// A checkpoint interval alone injects nothing: the byte-identity
+	// contract for non-faulty durable runs is "no injector attached".
+	if (&Spec{Ckpt: 5000}).Enabled() {
+		t.Error("ckpt-only spec enabled")
+	}
 	for _, s := range []*Spec{
 		{Drop: 0.01}, {Dup: 0.01}, {Reorder: 0.01}, {DelayMax: 1},
 		{Windows: []Window{{Proc: 0, Start: 0, Dur: 1}}},
+		{Windows: []Window{{Proc: 0, Start: 0, Dur: 1, Wipe: true}}},
 	} {
 		if !s.Enabled() {
 			t.Errorf("%+v not enabled", s)
 		}
+	}
+}
+
+func TestHasWipe(t *testing.T) {
+	var nilSpec *Spec
+	if nilSpec.HasWipe() {
+		t.Error("nil spec has wipe")
+	}
+	if (&Spec{Windows: []Window{{Proc: 1, Start: 0, Dur: 10}}}).HasWipe() {
+		t.Error("crash-only spec has wipe")
+	}
+	s := &Spec{Windows: []Window{
+		{Proc: 1, Start: 0, Dur: 10},
+		{Proc: 2, Start: 5, Dur: 10, Wipe: true},
+	}}
+	if !s.HasWipe() {
+		t.Error("wipe window not detected")
 	}
 }
 
@@ -181,6 +212,7 @@ func TestDeliveryDown(t *testing.T) {
 		{Proc: 1, Start: 100, Dur: 50},              // crash [100,150)
 		{Proc: 2, Start: 100, Dur: 50, Pause: true}, // pause [100,150)
 		{Proc: 2, Start: 150, Dur: 50, Pause: true}, // back-to-back pause [150,200)
+		{Proc: 4, Start: 100, Dur: 50, Wipe: true},  // wipe [100,150)
 	}})
 	cases := []struct {
 		proc     int
@@ -195,6 +227,8 @@ func TestDeliveryDown(t *testing.T) {
 		{2, 120, false, 200}, // pause chains into the next pause
 		{2, 200, false, 200},
 		{3, 120, false, 120}, // other procs unaffected
+		{4, 120, true, 0},    // wipe drops deliveries like a crash
+		{4, 150, false, 150},
 	}
 	for _, c := range cases {
 		drop, resume := i.DeliveryDown(c.proc, c.at)

@@ -22,6 +22,12 @@ func FuzzParseSpec(f *testing.F) {
 		" drop=0.1 , dup=0.2 ",
 		"rtomax=2000",
 		"bogus=1",
+		"wipe=p2@30000+10000,ckpt=25000",
+		"wipe=p0@0+1",
+		"wipe=p2@0+0",
+		"ckpt=4000",
+		"ckpt=0",
+		"crash=p1@0+10,wipe=p1@50+10,pause=p1@100+10",
 	} {
 		f.Add(seed)
 	}

@@ -202,7 +202,7 @@ func threadCounts(quick bool) []int {
 func ExperimentIDs() []string {
 	return []string{"fig1", "fig2", "fig3", "table1", "table2", "table3",
 		"table4", "table5", "smallnode", "ext-objmig", "ext-policy",
-		"ext-fault", "ext-kv", "scale"}
+		"ext-fault", "ext-kv", "ext-recovery", "scale"}
 }
 
 // plan maps an experiment id to the sweeps it needs plus an optional
@@ -237,6 +237,10 @@ func plan(id string, o Options) ([]experiment, string, error) {
 		// ext-kv stays out of "all" like ext-fault and scale: "all" is the
 		// pinned byte-identity baseline and must not change shape.
 		return []experiment{kvExp(o)}, "", nil
+	case "ext-recovery":
+		// ext-recovery also stays out of "all": every point runs durable,
+		// so it can never be part of the fault-free identity baseline.
+		return []experiment{recoveryExp(o)}, "", nil
 	case "scale":
 		return []experiment{scaleExp(o)}, "", nil
 	case "all":
@@ -250,7 +254,7 @@ func plan(id string, o Options) ([]experiment, string, error) {
 			policyExp(o), btreePolicyExp(o),
 		}, "", nil
 	default:
-		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, ext-kv, scale, all)", id)
+		return nil, "", fmt.Errorf("harness: unknown experiment %q (want fig1, fig2, fig3, table1..table5, smallnode, ext-objmig, ext-policy, ext-fault, ext-kv, ext-recovery, scale, all)", id)
 	}
 }
 

@@ -24,7 +24,25 @@ type Space struct {
 	moved map[gid.GID]int
 	// Moves counts object relocations.
 	Moves uint64
+
+	// journal, when set, observes creations and moves (see Journal).
+	journal Journal
 }
+
+// Journal observes the object space's structural events so a durability
+// layer (internal/store) can log them. Hooks run host-side at the
+// mutation point; any simulated cycle cost they imply is the journal's
+// to charge.
+type Journal interface {
+	// ObjectNew reports a new object placed on processor home.
+	ObjectNew(g gid.GID, home int)
+	// ObjectMove reports an object relocating from processor from to
+	// processor to; it runs after the move, so Home(g) already answers to.
+	ObjectMove(g gid.GID, from, to int)
+}
+
+// SetJournal installs (or clears, with nil) the space's journal.
+func (s *Space) SetJournal(j Journal) { s.journal = j }
 
 // NewSpace creates an object space for a machine with nprocs processors.
 func NewSpace(nprocs int) *Space {
@@ -42,6 +60,9 @@ func (s *Space) New(home int, state any) gid.GID {
 	}
 	g := s.alloc.Next(home)
 	s.states[g] = state
+	if s.journal != nil {
+		s.journal.ObjectNew(g, home)
+	}
 	return g
 }
 
@@ -81,12 +102,28 @@ func (s *Space) Move(g gid.GID, newHome int) {
 	if newHome < 0 || newHome >= s.nprocs {
 		panic(fmt.Sprintf("object: move to processor %d out of range", newHome))
 	}
+	from := s.Home(g)
 	if newHome == g.Home() {
 		delete(s.moved, g)
 	} else {
 		s.moved[g] = newHome
 	}
 	s.Moves++
+	if s.journal != nil {
+		s.journal.ObjectMove(g, from, newHome)
+	}
+}
+
+// HomedAt counts live objects whose current home is processor p — the
+// population a wiped processor must re-register during recovery.
+func (s *Space) HomedAt(p int) int {
+	n := 0
+	for g := range s.states {
+		if s.Home(g) == p {
+			n++
+		}
+	}
+	return n
 }
 
 // HasMoved reports whether g lives away from its birth processor.

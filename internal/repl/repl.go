@@ -30,7 +30,20 @@ type Table struct {
 	// ReadCycles is the local cost charged per replica read (a cached
 	// table lookup); calibrated small, like a handful of loads.
 	ReadCycles uint64
+
+	// journal, when set, observes replication drops (see Journal).
+	journal Journal
 }
+
+// Journal observes replication-table events a durability layer must
+// survive: dropping an object's replicas changes which mechanism owns
+// its state, so the switch itself is logged at the object's home.
+type Journal interface {
+	ReplicaDrop(g gid.GID, home int)
+}
+
+// SetJournal installs (or clears, with nil) the table's journal.
+func (tb *Table) SetJournal(j Journal) { tb.journal = j }
 
 // NewTable returns an empty replication table for rt.
 func NewTable(rt *core.Runtime) *Table {
@@ -58,6 +71,9 @@ func (tb *Table) Drop(g gid.GID) (state any, version uint64) {
 		panic("repl: Drop of unreplicated object")
 	}
 	delete(tb.entries, g)
+	if tb.journal != nil {
+		tb.journal.ReplicaDrop(g, tb.rt.Objects.Home(g))
+	}
 	return e.state, e.version
 }
 

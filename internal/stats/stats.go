@@ -37,6 +37,8 @@ const (
 	CatCoherence
 	// Synchronization (lock spin/queue handling).
 	CatSync
+	// Durable store: WAL appends, fsync barriers, checkpoints, replay.
+	CatDurability
 
 	numCategories
 )
@@ -59,6 +61,7 @@ var categoryNames = [numCategories]string{
 	CatCacheAccess:     "Cache access",
 	CatCoherence:       "Coherence protocol",
 	CatSync:            "Synchronization",
+	CatDurability:      "Durability",
 }
 
 // String returns the human-readable category name used in Table 5.
